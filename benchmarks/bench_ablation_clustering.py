@@ -1,0 +1,69 @@
+"""Ablation — hierarchical clustering vs k-means for subset selection.
+
+Related work (Phansalkar et al., ISCA 2007) used k-means for the
+CPU2006 study; this paper uses dendrograms.  This ablation selects
+3-benchmark subsets with both methods and compares the validation
+errors, showing the conclusion does not hinge on the clustering family.
+"""
+
+from repro.core.similarity import analyze_similarity
+from repro.core.subsetting import select_subset
+from repro.core.validation import validate_subset
+from repro.reporting import Table
+from repro.stats.kmeans import kmeans
+from repro.workloads.spec import Suite, workloads_in_suite
+
+SUITES = (
+    Suite.SPEC2017_SPEED_INT,
+    Suite.SPEC2017_RATE_INT,
+    Suite.SPEC2017_SPEED_FP,
+    Suite.SPEC2017_RATE_FP,
+)
+
+
+def build(profiler):
+    out = {}
+    for suite in SUITES:
+        names = [s.name for s in workloads_in_suite(suite)]
+        similarity = analyze_similarity(names, profiler=profiler)
+
+        hier = select_subset(similarity, 3)
+        hier_weights = [len(c) for c in hier.clusters]
+        hier_validation = validate_subset(
+            suite, hier.subset, weights=hier_weights, profiler=profiler
+        )
+
+        km = kmeans(similarity.scores, 3)
+        km_subset = km.representatives(similarity.scores, list(names))
+        km_weights = [len(c) for c in km.clusters(list(names)) if c]
+        km_validation = validate_subset(
+            suite, km_subset, weights=km_weights, profiler=profiler
+        )
+        out[suite] = (hier.subset, hier_validation, tuple(km_subset), km_validation)
+    return out
+
+
+def test_ablation_clustering_family(run_once, profiler):
+    results = run_once(build, profiler)
+    table = Table(
+        ["sub-suite", "hierarchical subset", "err %", "k-means subset", "err %"],
+        title="Ablation: hierarchical vs k-means subset selection",
+    )
+    for suite, (h_subset, h_val, k_subset, k_val) in results.items():
+        table.add_row([
+            suite.value,
+            ", ".join(sorted(h_subset)), h_val.mean_error * 100,
+            ", ".join(sorted(k_subset)), k_val.mean_error * 100,
+        ])
+    print()
+    print(table.render())
+
+    overlaps = 0
+    for suite, (h_subset, h_val, k_subset, k_val) in results.items():
+        # Both clustering families stay inside the paper's accuracy band.
+        assert h_val.mean_error <= 0.12, suite
+        assert k_val.mean_error <= 0.15, suite
+        overlaps += bool(set(h_subset) & set(k_subset))
+    # The methods overlap on representatives for at least half the
+    # sub-suites (exact members differ inside tight clusters).
+    assert overlaps >= 2

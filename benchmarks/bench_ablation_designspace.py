@@ -1,0 +1,60 @@
+"""Ablation — do the Table V subsets rank *design options* faithfully?
+
+The paper validates subsets on overall scores; architects use them for
+design trade-off studies.  This bench evaluates a realistic design
+space (LLC/L2 sizes, branch predictor, memory latency, STLB) on the
+full sub-suites and on their 3-benchmark subsets, and measures whether
+the subsets pick the same winning design.
+"""
+
+from repro.core.designspace import standard_design_space, subset_design_fidelity
+from repro.core.subsetting import subset_suite
+from repro.reporting import Table
+from repro.workloads.spec import Suite, workloads_in_suite
+
+SUITES = (
+    Suite.SPEC2017_SPEED_INT,
+    Suite.SPEC2017_RATE_INT,
+    Suite.SPEC2017_SPEED_FP,
+    Suite.SPEC2017_RATE_FP,
+)
+
+
+def build(profiler):
+    variants = standard_design_space()
+    out = {}
+    for suite in SUITES:
+        names = [s.name for s in workloads_in_suite(suite)]
+        subset = subset_suite(suite, k=3)
+        out[suite] = subset_design_fidelity(
+            names, list(subset.subset), variants=variants, profiler=profiler
+        )
+    return out
+
+
+def test_ablation_design_space(run_once, profiler):
+    results = run_once(build, profiler)
+    table = Table(
+        ["sub-suite", "full-suite winner", "subset winner", "rank corr",
+         "max speedup gap"],
+        title="Ablation: subset fidelity for design trade-off ranking",
+    )
+    for suite, fidelity in results.items():
+        table.add_row([
+            suite.value,
+            fidelity.full.best(),
+            fidelity.subset.best(),
+            fidelity.rank_correlation,
+            fidelity.max_speedup_gap,
+        ])
+    print()
+    print(table.render())
+    for suite, fidelity in results.items():
+        print(f"{suite.value}: full ranking {fidelity.full.ranking()}")
+
+    # The subsets agree on the winning design for every sub-suite and
+    # approximate the full geomean speedups closely.
+    agree = sum(f.best_choice_agrees for f in results.values())
+    assert agree >= 3
+    for suite, fidelity in results.items():
+        assert fidelity.max_speedup_gap < 0.12, suite

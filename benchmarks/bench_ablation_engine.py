@@ -1,0 +1,66 @@
+"""Ablation — analytic vs trace profiling engine.
+
+Profiles a workload sample with both engines and compares the derived
+metrics and their cross-workload ordering, quantifying how much the
+closed-form shortcut costs in fidelity (and how much it buys in speed).
+"""
+
+import time
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro.perf.counters import Metric
+from repro.perf.profiler import Profiler
+from repro.reporting import Table
+
+WORKLOADS = (
+    "505.mcf_r", "541.leela_r", "525.x264_r", "502.gcc_r",
+    "507.cactubssn_r", "519.lbm_r", "549.fotonik3d_r", "511.povray_r",
+)
+MACHINE = "skylake-i7-6700"
+COMPARED = (
+    Metric.L1D_MPKI, Metric.L2D_MPKI, Metric.L1I_MPKI,
+    Metric.BRANCH_MPKI, Metric.L1_DTLB_MPMI, Metric.CPI,
+)
+
+
+def build(_ignored):
+    analytic = Profiler("analytic")
+    trace = Profiler("trace", trace_instructions=60_000)
+    t0 = time.perf_counter()
+    analytic_reports = {w: analytic.profile(w, MACHINE) for w in WORKLOADS}
+    t_analytic = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    trace_reports = {w: trace.profile(w, MACHINE) for w in WORKLOADS}
+    t_trace = time.perf_counter() - t0
+    return analytic_reports, trace_reports, t_analytic, t_trace
+
+
+def test_ablation_engine(run_once):
+    analytic, trace, t_analytic, t_trace = run_once(build, None)
+    table = Table(
+        ["metric", "rank correlation", "median |rel diff|"],
+        title="Ablation: analytic vs trace engine agreement",
+    )
+    for metric in COMPARED:
+        a = np.array([analytic[w].metrics[metric] for w in WORKLOADS])
+        t = np.array([trace[w].metrics[metric] for w in WORKLOADS])
+        rho, _ = spearmanr(a, t)
+        denominator = np.where(np.abs(a) > 1e-9, np.abs(a), 1.0)
+        rel = np.median(np.abs(t - a) / denominator)
+        table.add_row([metric.value, rho, rel])
+    print()
+    print(table.render())
+    print(f"profiling time: analytic {t_analytic*1e3:.1f} ms, "
+          f"trace {t_trace*1e3:.0f} ms "
+          f"({t_trace / max(t_analytic, 1e-9):.0f}x slower)")
+
+    # The analytic shortcut preserves the cross-workload ordering the
+    # similarity analyses depend on.
+    for metric in (Metric.L1D_MPKI, Metric.BRANCH_MPKI, Metric.CPI):
+        a = [analytic[w].metrics[metric] for w in WORKLOADS]
+        t = [trace[w].metrics[metric] for w in WORKLOADS]
+        rho, _ = spearmanr(a, t)
+        assert rho > 0.8, metric
+    assert t_trace > t_analytic

@@ -1,0 +1,55 @@
+"""Ablation — Kaiser criterion vs fixed PC counts.
+
+Sweeps the number of retained principal components and reports how the
+subset and its validation error change, showing the Kaiser choice sits
+on a stable plateau.
+"""
+
+from repro.core.similarity import analyze_similarity
+from repro.core.subsetting import select_subset
+from repro.core.validation import validate_subset
+from repro.reporting import Table
+from repro.workloads.spec import Suite, workloads_in_suite
+
+SUITE = Suite.SPEC2017_RATE_INT
+
+
+def build(profiler):
+    names = [s.name for s in workloads_in_suite(SUITE)]
+    kaiser = analyze_similarity(names, profiler=profiler)
+    sweep = {}
+    for k in (2, 4, 6, 8, kaiser.pca.n_components):
+        result = analyze_similarity(names, n_components=k, profiler=profiler)
+        subset = select_subset(result, 3)
+        weights = [len(c) for c in subset.clusters]
+        validation = validate_subset(
+            SUITE, subset.subset, weights=weights, profiler=profiler
+        )
+        sweep[k] = (result, subset, validation)
+    return kaiser, sweep
+
+
+def test_ablation_kaiser(run_once, profiler):
+    kaiser, sweep = run_once(build, profiler)
+    table = Table(
+        ["PCs", "variance", "subset", "mean error %", "kaiser?"],
+        title="Ablation: retained components vs subset quality",
+    )
+    for k, (result, subset, validation) in sorted(sweep.items()):
+        table.add_row([
+            k,
+            f"{result.variance_covered:.0%}",
+            ", ".join(sorted(subset.subset)),
+            validation.mean_error * 100,
+            "<-" if k == kaiser.n_components else "",
+        ])
+    print()
+    print(table.render())
+    print(f"Kaiser retains {kaiser.n_components} PCs "
+          f"({kaiser.variance_covered:.0%} variance)")
+    # The Kaiser point covers >=91% of variance (paper) and the anchor
+    # benchmark is stable from 4 PCs up.
+    assert kaiser.variance_covered >= 0.91
+    for k, (result, subset, _validation) in sweep.items():
+        if k >= 4:
+            assert "505.mcf_r" in subset.subset, k

@@ -1,0 +1,58 @@
+"""Ablation — subset size vs estimation error vs simulation-time cost.
+
+The paper picks k=3 per sub-suite; this sweep shows the error /
+simulation-time trade-off around that choice ("including more
+benchmarks reduces the prediction error but increases simulation
+time").
+"""
+
+import numpy as np
+
+from repro.core.similarity import analyze_similarity
+from repro.core.subsetting import select_subset
+from repro.core.validation import validate_subset
+from repro.reporting import Table
+from repro.workloads.spec import Suite, workloads_in_suite
+
+SUITE = Suite.SPEC2017_RATE_FP
+
+
+def build(profiler):
+    names = [s.name for s in workloads_in_suite(SUITE)]
+    result = analyze_similarity(names, profiler=profiler)
+    sweep = {}
+    for k in (1, 2, 3, 4, 6, 8, 13):
+        subset = select_subset(result, k)
+        weights = [len(c) for c in subset.clusters]
+        validation = validate_subset(
+            SUITE, subset.subset, weights=weights, profiler=profiler
+        )
+        sweep[k] = (subset, validation)
+    return sweep
+
+
+def test_ablation_subset_size(run_once, profiler):
+    sweep = run_once(build, profiler)
+    table = Table(
+        ["k", "mean error %", "max error %", "time reduction"],
+        title="Ablation: subset size (SPECrate FP)",
+    )
+    for k, (subset, validation) in sorted(sweep.items()):
+        table.add_row([
+            k, validation.mean_error * 100, validation.max_error * 100,
+            f"{subset.time_reduction:.1f}x",
+        ])
+    print()
+    print(table.render())
+
+    # Trade-off shape: the full suite has zero error; error broadly
+    # shrinks with k while the time reduction shrinks monotonically.
+    errors = [validation.mean_error for _, validation in sweep.values()]
+    reductions = [subset.time_reduction for subset, _ in sweep.values()]
+    ks = sorted(sweep)
+    assert sweep[13][1].mean_error < 1e-9
+    assert all(
+        reductions[i] >= reductions[i + 1] - 1e-9 for i in range(len(ks) - 1)
+    )
+    # k=3 (the paper's pick) already reaches the <=12% band.
+    assert sweep[3][1].mean_error <= 0.12

@@ -1,0 +1,38 @@
+"""Figure 10 — the CPU2017 benchmarks in the data-cache and
+instruction-cache PC spaces."""
+
+from repro.core.classification import dcache_space, extremes, icache_space
+from repro.perf.counters import Metric
+from repro.reporting import ScatterSeries, render_scatter
+
+
+def build(profiler):
+    return dcache_space(profiler=profiler), icache_space(profiler=profiler)
+
+
+def test_fig10_cache_spaces(run_once, profiler):
+    dcache, icache = run_once(build, profiler)
+    print()
+    print("Figure 10 (left): data-cache PC space")
+    print(render_scatter([ScatterSeries.from_dict("CPU2017", dcache.points)]))
+    print("PC1 dominated by:", ", ".join(dcache.dominated_by[1]))
+    print()
+    print("Figure 10 (right): instruction-cache PC space")
+    print(render_scatter([ScatterSeries.from_dict("CPU2017", icache.points)]))
+    print("PC1 dominated by:", ", ".join(icache.dominated_by[1]))
+
+    worst_data = [n for n, _ in extremes(Metric.L1D_MPKI, top=8, profiler=profiler)]
+    worst_inst = [n for n, _ in extremes(Metric.L1I_MPKI, top=6, profiler=profiler)]
+    print("worst data locality:", worst_data,
+          "(paper: mcf, cactuBSSN, fotonik3d)")
+    print("highest I-cache activity:", worst_inst, "(paper: perlbench, gcc)")
+
+    data_families = {w.split(".")[1].rsplit("_", 1)[0] for w in worst_data}
+    assert {"cactubssn", "fotonik3d"} <= data_families
+    inst_families = {w.split(".")[1].rsplit("_", 1)[0] for w in worst_inst}
+    assert "gcc" in inst_families
+
+    # Paper: CPU2017 I-cache MPKI stays modest (0-11 band) — nothing
+    # like scale-out workloads.
+    for _, value in extremes(Metric.L1I_MPKI, top=1, profiler=profiler):
+        assert value < 15.0

@@ -1,0 +1,49 @@
+"""Figure 11 — CPU2017 vs CPU2006 coverage of the PC workload space,
+plus the removed-benchmark coverage analysis of Section V-B."""
+
+from repro.core.balance import analyze_balance
+from repro.reporting import ScatterSeries, Table, render_scatter
+from repro.workloads.spec2006 import PAPER_UNCOVERED
+
+
+def test_fig11_suite_coverage(run_once, profiler):
+    report = run_once(analyze_balance, profiler=profiler)
+    labels = list(report.similarity.workloads)
+    scores = report.similarity.scores
+    points_2017 = {
+        n: (scores[i, 0], scores[i, 1])
+        for i, n in enumerate(labels)
+        if n[0] in "56"
+    }
+    points_2006 = {
+        n: (scores[i, 0], scores[i, 1])
+        for i, n in enumerate(labels)
+        if n[0] in "4" or n.startswith("48") or n[0] == "4"
+    }
+    print()
+    print("Figure 11a: PC1 vs PC2")
+    print(render_scatter([
+        ScatterSeries.from_dict("CPU2017", points_2017),
+        ScatterSeries.from_dict("CPU2006", points_2006),
+    ]))
+
+    table = Table(
+        ["plane", "area 2017", "area 2006", "2017/2006",
+         "2017 outside 2006 hull"],
+        title="Figure 11: coverage statistics",
+    )
+    for plane in (report.plane_12, report.plane_34):
+        table.add_row([
+            f"PC{plane.axes[0]}-PC{plane.axes[1]}", plane.area_2017,
+            plane.area_2006, plane.expansion,
+            f"{plane.fraction_2017_outside_2006:.0%}",
+        ])
+    print(table.render())
+    print(f"uncovered removed benchmarks: {report.uncovered_removed} "
+          f"(paper: {PAPER_UNCOVERED})")
+
+    # Paper shape: >25% of CPU2017 outside the 2006 PC1-PC2 hull; the
+    # PC3-PC4 plane roughly doubles; exactly mcf/gobmk/astar uncovered.
+    assert report.plane_12.fraction_2017_outside_2006 >= 0.15
+    assert report.plane_34.expansion >= 1.5
+    assert report.uncovered_removed == tuple(sorted(PAPER_UNCOVERED))

@@ -1,0 +1,35 @@
+"""Figure 12 — CPU2017 vs CPU2006 in the power PC space (RAPL on three
+Intel machines)."""
+
+from repro.core.power_analysis import analyze_power_spectrum
+from repro.reporting import ScatterSeries, Table, render_scatter
+
+
+def test_fig12_power_space(run_once, profiler):
+    spectrum = run_once(analyze_power_spectrum, profiler=profiler)
+    points_2017 = {n: spectrum.points[n] for n in spectrum.names_2017}
+    points_2006 = {n: spectrum.points[n] for n in spectrum.names_2006}
+    print()
+    print("Figure 12: power PC space (core / LLC / DRAM watts x 3 machines)")
+    print(render_scatter([
+        ScatterSeries.from_dict("CPU2017", points_2017),
+        ScatterSeries.from_dict("CPU2006", points_2006),
+    ]))
+    table = Table(["quantity", "CPU2017", "CPU2006"], title="Power spreads")
+    table.add_row(["hull area", spectrum.area_2017, spectrum.area_2006])
+    table.add_row([
+        "core power spread (W)",
+        spectrum.core_power_spread_2017, spectrum.core_power_spread_2006,
+    ])
+    table.add_row([
+        "DRAM power spread (W)",
+        spectrum.dram_power_spread_2017, spectrum.dram_power_spread_2006,
+    ])
+    print(table.render())
+    print("PC1 dominated by:", ", ".join(spectrum.dominant_features(1)))
+    print("PC2 dominated by:", ", ".join(spectrum.dominant_features(2)))
+
+    # Paper shape: CPU2017 covers a wider power space, driven by core-
+    # power diversity of the new compute/SIMD-heavy benchmarks.
+    assert spectrum.expansion > 1.1
+    assert spectrum.core_power_spread_2017 > spectrum.core_power_spread_2006

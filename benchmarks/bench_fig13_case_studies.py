@@ -1,0 +1,39 @@
+"""Figure 13 — CPU2017 vs EDA, database (Cassandra/YCSB) and
+graph-analytics workloads."""
+
+from repro.core.casestudies import analyze_case_studies
+from repro.reporting import Table
+
+
+def test_fig13_case_studies(run_once, profiler):
+    report = run_once(analyze_case_studies, profiler=profiler)
+    print()
+    print("Figure 13: emerging workloads vs the CPU2017 cloud")
+    table = Table(
+        ["workload", "nearest CPU2017", "distance", "distance / median",
+         "covered"],
+        title=f"(CPU2017 median pairwise distance: "
+              f"{report.median_cpu2017_distance:.2f})",
+    )
+    for name, (nearest, distance) in sorted(report.nearest_cpu2017.items()):
+        table.add_row([
+            name, nearest, distance, report.coverage_ratio(name),
+            "yes" if report.is_covered(name) else "NO",
+        ])
+    print(table.render())
+
+    # Paper shape (Sections V-D/E/F):
+    # EDA covered, closest to mcf.
+    for name in ("175.vpr", "300.twolf"):
+        assert report.is_covered(name)
+        assert "mcf" in report.nearest_cpu2017[name][0]
+    # Cassandra far outside (I-cache / I-TLB behaviour).
+    for name in ("cas-WA", "cas-WC"):
+        assert not report.is_covered(name)
+    # pagerank distinct (D-TLB pressure); cc covered near leela/deepsjeng/xz.
+    for name in ("pr-g1", "pr-g2"):
+        assert not report.is_covered(name)
+    for name in ("cc-g1", "cc-g2"):
+        assert report.is_covered(name)
+        family = report.nearest_cpu2017[name][0].split(".")[1].rsplit("_", 1)[0]
+        assert family in ("leela", "deepsjeng", "xz")

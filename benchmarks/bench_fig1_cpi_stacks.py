@@ -1,0 +1,40 @@
+"""Figure 1 — CPI stacks of the CPU2017 rate benchmarks (Skylake)."""
+
+from repro.reporting import Table
+from repro.workloads.spec import Suite, workloads_in_suite
+
+
+def build_stacks(profiler):
+    stacks = {}
+    for spec in workloads_in_suite(Suite.SPEC2017_RATE_INT, Suite.SPEC2017_RATE_FP):
+        stacks[spec.name] = profiler.profile(spec.name, "skylake-i7-6700").cpi_stack
+    return stacks
+
+
+def test_fig1_cpi_stacks(run_once, profiler):
+    stacks = run_once(build_stacks, profiler)
+    table = Table(
+        ["benchmark", "total", "base", "other(dep)", "frontend", "bad spec",
+         "L2", "L3", "mem", "TLB"],
+        title="Figure 1: CPI stacks, CPU2017 rate benchmarks (Skylake)",
+        precision=3,
+    )
+    for name, stack in sorted(stacks.items()):
+        table.add_row([
+            name, stack.total, stack.base, stack.dependency, stack.frontend,
+            stack.bad_speculation, stack.backend_l2, stack.backend_l3,
+            stack.backend_memory, stack.backend_tlb,
+        ])
+    print()
+    print(table.render())
+
+    # Paper shape: mcf_r/omnetpp_r near the top of the CPI ranking ...
+    totals = {name: stack.total for name, stack in stacks.items()}
+    worst = set(sorted(totals, key=totals.get, reverse=True)[:3])
+    assert {"505.mcf_r", "520.omnetpp_r"} <= worst
+    # ... memory-bound codes dominated by back-end stalls ...
+    for name in ("520.omnetpp_r", "523.xalancbmk_r", "505.mcf_r", "549.fotonik3d_r"):
+        assert stacks[name].backend > stacks[name].frontend_bound
+    # ... and blender/imagick limited by inter-instruction dependencies.
+    for name in ("526.blender_r", "538.imagick_r"):
+        assert stacks[name].dependency > 0.2 * stacks[name].total

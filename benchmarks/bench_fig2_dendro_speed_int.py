@@ -1,0 +1,22 @@
+"""Figure 2 — dendrogram of the SPECspeed INT benchmarks."""
+
+from repro.core.similarity import analyze_similarity
+from repro.workloads.spec import Suite, workloads_in_suite
+
+
+def build(profiler):
+    names = [s.name for s in workloads_in_suite(Suite.SPEC2017_SPEED_INT)]
+    return analyze_similarity(names, profiler=profiler)
+
+
+def test_fig2_dendrogram_speed_int(run_once, profiler):
+    result = run_once(build, profiler)
+    print()
+    print(f"Figure 2: SPECspeed INT dendrogram "
+          f"({result.n_components} PCs, {result.variance_covered:.0%} variance; "
+          f"paper: 7 PCs, >=91%)")
+    print(result.dendrogram().text)
+    # Paper shape: >=91% variance covered; 605.mcf_s is the most
+    # distinct benchmark of the sub-suite.
+    assert result.variance_covered >= 0.91
+    assert result.tree.most_distinct_leaf() == "605.mcf_s"

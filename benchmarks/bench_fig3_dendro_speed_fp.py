@@ -1,0 +1,20 @@
+"""Figure 3 — dendrogram of the SPECspeed FP benchmarks."""
+
+from repro.core.similarity import analyze_similarity
+from repro.workloads.spec import Suite, workloads_in_suite
+
+
+def build(profiler):
+    names = [s.name for s in workloads_in_suite(Suite.SPEC2017_SPEED_FP)]
+    return analyze_similarity(names, profiler=profiler)
+
+
+def test_fig3_dendrogram_speed_fp(run_once, profiler):
+    result = run_once(build, profiler)
+    print()
+    print(f"Figure 3: SPECspeed FP dendrogram "
+          f"({result.n_components} PCs, {result.variance_covered:.0%} variance)")
+    print(result.dendrogram().text)
+    # Paper shape: 607.cactubssn_s has the most distinctive behaviour
+    # (unique memory and TLB performance).
+    assert result.tree.most_distinct_leaf() == "607.cactubssn_s"

@@ -1,0 +1,24 @@
+"""Figure 4 — dendrogram of the SPECrate FP benchmarks."""
+
+from repro.core.similarity import analyze_similarity
+from repro.workloads.spec import Suite, workloads_in_suite
+
+
+def build(profiler):
+    names = [s.name for s in workloads_in_suite(Suite.SPEC2017_RATE_FP)]
+    return analyze_similarity(names, profiler=profiler)
+
+
+def test_fig4_dendrogram_rate_fp(run_once, profiler):
+    result = run_once(build, profiler)
+    print()
+    print(f"Figure 4: SPECrate FP dendrogram "
+          f"({result.n_components} PCs, {result.variance_covered:.0%} variance)")
+    print(result.dendrogram().text)
+    assert result.tree.most_distinct_leaf() == "507.cactubssn_r"
+    # fotonik3d shares cactuBSSN's poor-data-locality corner and joins
+    # it before the bulk of the suite does.
+    distance = result.tree.cophenetic_distance(
+        "507.cactubssn_r", "549.fotonik3d_r"
+    )
+    assert distance <= result.tree.heights[-1]

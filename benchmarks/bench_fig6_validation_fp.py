@@ -1,0 +1,39 @@
+"""Figure 6 — validation of the FP subsets against commercial-system
+scores."""
+
+from repro.core.subsetting import subset_suite
+from repro.core.validation import validate_subset
+from repro.reporting import Table
+from repro.workloads.spec import Suite
+
+#: Paper's average errors: speed FP ~3%, rate FP ~4.5%.
+PAPER_MEAN_ERROR = {Suite.SPEC2017_SPEED_FP: 0.03, Suite.SPEC2017_RATE_FP: 0.045}
+
+
+def build(_ignored):
+    out = {}
+    for suite in (Suite.SPEC2017_SPEED_FP, Suite.SPEC2017_RATE_FP):
+        subset = subset_suite(suite, k=3)
+        weights = [len(c) for c in subset.clusters]
+        out[suite] = validate_subset(suite, subset.subset, weights=weights)
+    return out
+
+
+def test_fig6_validation_fp(run_once):
+    results = run_once(build, None)
+    table = Table(
+        ["sub-suite", "system", "full score", "subset score", "error %"],
+        title="Figure 6: FP subset validation on commercial systems",
+    )
+    for suite, validation in results.items():
+        for system in validation.systems:
+            table.add_row([
+                suite.value, system.system, system.full_score,
+                system.subset_score, system.error * 100,
+            ])
+    print()
+    print(table.render())
+    for suite, validation in results.items():
+        print(f"{suite.value}: mean error {validation.mean_error:.1%} "
+              f"(paper: {PAPER_MEAN_ERROR[suite]:.1%})")
+        assert validation.mean_error <= 0.12

@@ -1,0 +1,31 @@
+"""Figure 7 — similarity between the input sets of the CPU2017 INT
+benchmarks."""
+
+import numpy as np
+
+from repro.core.inputsets import analyze_input_sets
+from repro.stats.dendrogram import render_dendrogram
+from repro.workloads.spec import Suite
+
+
+def build(profiler):
+    return analyze_input_sets(
+        suites=(Suite.SPEC2017_RATE_INT, Suite.SPEC2017_SPEED_INT),
+        profiler=profiler,
+    )
+
+
+def test_fig7_input_sets_int(run_once, profiler):
+    analysis = run_once(build, profiler)
+    print()
+    print(f"Figure 7: INT input-set dendrogram "
+          f"({analysis.n_components} PCs, {analysis.variance_covered:.0%} "
+          f"variance; paper: 10 PCs, 94%)")
+    print(render_dendrogram(analysis.tree).text)
+    # Paper shape: input sets of the same benchmark cluster together —
+    # each benchmark's input spread is below the global workload scale.
+    scale = float(np.median(analysis.distances[analysis.distances > 0]))
+    for name, cohesion in analysis.input_cohesion.items():
+        print(f"  {name}: input spread {cohesion:.2f} (space median {scale:.2f})")
+        assert cohesion < scale, name
+    assert analysis.variance_covered >= 0.90

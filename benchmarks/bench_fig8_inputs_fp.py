@@ -1,0 +1,29 @@
+"""Figure 8 — similarity between the input sets of the CPU2017 FP
+benchmarks (bwaves is the only multi-input FP benchmark)."""
+
+import numpy as np
+
+from repro.core.inputsets import analyze_input_sets
+from repro.stats.dendrogram import render_dendrogram
+from repro.workloads.spec import Suite
+
+
+def build(profiler):
+    return analyze_input_sets(
+        suites=(Suite.SPEC2017_RATE_FP, Suite.SPEC2017_SPEED_FP),
+        profiler=profiler,
+    )
+
+
+def test_fig8_input_sets_fp(run_once, profiler):
+    analysis = run_once(build, profiler)
+    print()
+    print(f"Figure 8: FP input-set dendrogram "
+          f"({analysis.n_components} PCs, {analysis.variance_covered:.0%} "
+          f"variance; paper: 12 PCs, 94%)")
+    print(render_dendrogram(analysis.tree).text)
+    assert set(analysis.representative) == {"503.bwaves_r", "603.bwaves_s"}
+    # bwaves' two inputs sit close together relative to the space.
+    scale = float(np.median(analysis.distances[analysis.distances > 0]))
+    for name, cohesion in analysis.input_cohesion.items():
+        assert cohesion < scale, name

@@ -1,0 +1,52 @@
+"""Figure 9 — the CPU2017 benchmarks in the branch-behaviour PC space."""
+
+from repro.core.classification import branch_space, extremes
+from repro.perf.counters import Metric
+from repro.reporting import ScatterSeries, render_scatter
+
+
+def test_fig9_branch_space(run_once, profiler):
+    space = run_once(branch_space, profiler=profiler)
+    print()
+    print(f"Figure 9: branch-behaviour PC space "
+          f"({space.variance_covered:.0%} variance in 2 PCs; paper: 94%)")
+    int_points = {
+        k: v for k, v in space.points.items() if k[0] in "56" and int(k[0]) in (5, 6)
+        and not _is_fp(k)
+    }
+    fp_points = {k: v for k, v in space.points.items() if _is_fp(k)}
+    print(render_scatter(
+        [
+            ScatterSeries.from_dict("INT", int_points),
+            ScatterSeries.from_dict("FP", fp_points),
+        ],
+        x_label="PC1", y_label="PC2",
+    ))
+    print("PC1 dominated by:", ", ".join(space.dominated_by[1]))
+    print("PC2 dominated by:", ", ".join(space.dominated_by[2]))
+
+    worst_mpki = [n for n, _ in extremes(Metric.BRANCH_MPKI, top=4, profiler=profiler)]
+    highest_taken = [
+        n for n, _ in extremes(Metric.BRANCH_TAKEN_PKI, top=4, profiler=profiler)
+    ]
+    print("worst mispredictors:", worst_mpki, "(paper: leela, mcf)")
+    print("highest taken rates:", highest_taken, "(paper: mcf, gcc, C++ codes)")
+
+    # Paper shape: leela & mcf worst mispredictors; variance mostly in 2 PCs.
+    families = {w.split(".")[1].rsplit("_", 1)[0] for w in worst_mpki}
+    assert {"leela", "mcf"} <= families
+    assert space.variance_covered > 0.7
+
+    # FP benchmarks cluster together (less control-flow diversity): the
+    # FP cloud is tighter than the INT cloud along PC2.
+    import numpy as np
+
+    fp_spread = np.std([v[1] for v in fp_points.values()])
+    int_spread = np.std([v[1] for v in int_points.values()])
+    assert fp_spread < int_spread
+
+
+def _is_fp(name: str) -> bool:
+    from repro.workloads.spec import get_workload
+
+    return get_workload(name).suite.is_floating_point

@@ -1,0 +1,40 @@
+"""Section IV-D — are rate and speed benchmarks different?
+
+Measures every rate/speed twin's PC-space distance; the paper finds
+most pairs near-identical, with omnetpp/xalancbmk/x264 elevated among
+INT and imagick (most), bwaves and fotonik3d among FP."""
+
+import numpy as np
+
+from repro.core.rate_speed import compare_rate_speed
+from repro.reporting import Table
+
+
+def test_rate_vs_speed(run_once, profiler):
+    comparison = run_once(compare_rate_speed, profiler=profiler)
+    table = Table(
+        ["pair", "category", "distance", "cophenetic"],
+        title="Section IV-D: rate vs speed twin distances",
+    )
+    for pair in comparison.ranked("all"):
+        category = "INT" if pair in comparison.int_pairs else "FP"
+        table.add_row(
+            [f"{pair.rate} / {pair.speed}", category, pair.distance, pair.cophenetic]
+        )
+    print()
+    print(table.render())
+
+    flagged_fp = [p.family for p in comparison.different_pairs("fp")]
+    flagged_int = [p.family for p in comparison.different_pairs("int")]
+    print(f"flagged INT: {flagged_int} (paper: omnetpp, xalancbmk, x264)")
+    print(f"flagged FP : {flagged_fp} (paper: imagick >> bwaves, fotonik3d)")
+
+    # Shape assertions.
+    assert comparison.ranked("fp")[0].family == "imagick"
+    fp_mean = np.mean([p.distance for p in comparison.fp_pairs])
+    int_mean = np.mean([p.distance for p in comparison.int_pairs])
+    assert fp_mean > int_mean
+    # Most twins are close: at least half of all pairs sit below the
+    # overall mean.
+    distances = [p.distance for p in comparison.pairs]
+    assert sum(d < np.mean(distances) for d in distances) >= len(distances) // 2

@@ -1,0 +1,61 @@
+"""Extension — SimPoint-style interval sampling per benchmark.
+
+The related work the paper cites (Sherwood 2001; Nair & John 2008)
+attacks the same simulation-time problem within a single benchmark.
+This bench finds representative simulation intervals for a benchmark
+sample and reports the per-benchmark sampling speedup and the accuracy
+of simpoint-weighted estimates of a per-interval signal.
+"""
+
+import numpy as np
+
+from repro.core.simpoints import find_simpoints
+from repro.reporting import Table
+from repro.workloads.spec import get_workload
+from repro.workloads.synthesis import synthesize_trace
+
+WORKLOADS = ("505.mcf_r", "541.leela_r", "502.gcc_r", "519.lbm_r")
+
+
+def build(_ignored):
+    results = {}
+    for name in WORKLOADS:
+        analysis = find_simpoints(
+            name, instructions=120_000, interval_instructions=6_000
+        )
+        trace = synthesize_trace(get_workload(name), 120_000, seed=2017)
+        per_interval = np.array([
+            chunk.mean()
+            for chunk in np.array_split(
+                trace.branch_taken.astype(float), analysis.n_intervals
+            )
+        ])
+        estimate = analysis.estimate(per_interval)
+        truth = float(per_interval.mean())
+        results[name] = (analysis, estimate, truth)
+    return results
+
+
+def test_simpoints(run_once):
+    results = run_once(build, None)
+    table = Table(
+        ["benchmark", "intervals", "phases", "sampling speedup",
+         "estimate", "truth", "error"],
+        title="Extension: SimPoint-style interval sampling",
+        precision=3,
+    )
+    for name, (analysis, estimate, truth) in results.items():
+        table.add_row([
+            name, analysis.n_intervals, analysis.n_phases,
+            f"{analysis.speedup:.0f}x", estimate, truth,
+            abs(estimate - truth),
+        ])
+    print()
+    print(table.render())
+
+    for name, (analysis, estimate, truth) in results.items():
+        # Stationary models -> few phases, huge sampling speedups, and
+        # accurate weighted estimates.
+        assert analysis.n_phases <= 3, name
+        assert analysis.speedup >= analysis.n_intervals / 3
+        assert abs(estimate - truth) < 0.08, name

@@ -1,0 +1,47 @@
+"""Table I — dynamic instruction count, instruction mix and CPI of the
+43 CPU2017 benchmarks on the Skylake reference machine."""
+
+from repro.perf.counters import Metric
+from repro.reporting import Table
+from repro.workloads.spec import Suite, workloads_in_suite
+
+SUITES = (
+    Suite.SPEC2017_SPEED_INT,
+    Suite.SPEC2017_RATE_INT,
+    Suite.SPEC2017_SPEED_FP,
+    Suite.SPEC2017_RATE_FP,
+)
+
+
+def build_table(profiler):
+    table = Table(
+        ["benchmark", "icount (B)", "loads %", "stores %", "branches %",
+         "CPI (model)", "CPI (paper)"],
+        title="Table I: instruction counts, mix and CPI (Skylake)",
+    )
+    rows = []
+    for suite in SUITES:
+        for spec in workloads_in_suite(suite):
+            report = profiler.profile(spec.name, "skylake-i7-6700")
+            row = (
+                spec.name,
+                spec.icount_billions,
+                report.metrics[Metric.PCT_LOAD],
+                report.metrics[Metric.PCT_STORE],
+                report.metrics[Metric.PCT_BRANCH],
+                report.metrics[Metric.CPI],
+                spec.reference_cpi,
+            )
+            rows.append(row)
+            table.add_row(row)
+    return table, rows
+
+
+def test_table1_instr_mix(run_once, profiler):
+    table, rows = run_once(build_table, profiler)
+    print()
+    print(table.render())
+    assert len(rows) == 43
+    # Modelled CPI tracks Table I within the calibration tolerance.
+    for name, _, _, _, _, model_cpi, paper_cpi in rows:
+        assert abs(model_cpi - paper_cpi) / paper_cpi < 0.20, name

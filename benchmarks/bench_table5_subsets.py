@@ -1,0 +1,48 @@
+"""Table V — 3-benchmark representative subsets per sub-suite and the
+resulting simulation-time reductions."""
+
+from repro.core.subsetting import PAPER_SUBSETS, subset_suite
+from repro.reporting import Table
+from repro.workloads.spec import Suite
+
+#: Table V simulation-time reductions.
+PAPER_REDUCTIONS = {
+    Suite.SPEC2017_SPEED_INT: 5.6,
+    Suite.SPEC2017_RATE_INT: 4.5,
+    Suite.SPEC2017_SPEED_FP: 4.5,
+    Suite.SPEC2017_RATE_FP: 6.3,
+}
+
+
+def build(_suite_list):
+    return {suite: subset_suite(suite, k=3) for suite in PAPER_SUBSETS}
+
+
+def test_table5_subsets(run_once):
+    results = run_once(build, list(PAPER_SUBSETS))
+    table = Table(
+        ["sub-suite", "model subset", "paper subset", "reduction", "paper"],
+        title="Table V: representative 3-benchmark subsets",
+    )
+    for suite, result in results.items():
+        table.add_row([
+            suite.value,
+            ", ".join(sorted(result.subset)),
+            ", ".join(sorted(PAPER_SUBSETS[suite])),
+            f"{result.time_reduction:.1f}x",
+            f"{PAPER_REDUCTIONS[suite]:.1f}x",
+        ])
+    print()
+    print(table.render())
+    for suite, result in results.items():
+        # The anchor benchmark of each subset (the most distinct one)
+        # matches the paper's subset.
+        anchors = {
+            Suite.SPEC2017_SPEED_INT: "605.mcf_s",
+            Suite.SPEC2017_RATE_INT: "505.mcf_r",
+            Suite.SPEC2017_SPEED_FP: "607.cactubssn_s",
+            Suite.SPEC2017_RATE_FP: "507.cactubssn_r",
+        }
+        assert anchors[suite] in result.subset
+        # Reductions in the paper's 4.5-6.3x order of magnitude.
+        assert 2.5 <= result.time_reduction <= 10.0

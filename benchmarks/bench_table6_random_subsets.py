@@ -1,0 +1,60 @@
+"""Table VI — identified subsets vs two random subsets per sub-suite."""
+
+import numpy as np
+
+from repro.core.subsetting import subset_suite
+from repro.core.validation import random_subset_errors, validate_subset
+from repro.reporting import Table
+from repro.workloads.spec import Suite
+
+#: Table VI published errors (identified, rand set 1, rand set 2).
+PAPER = {
+    Suite.SPEC2017_SPEED_INT: (0.11, 0.282, 0.234),
+    Suite.SPEC2017_RATE_INT: (0.07, 0.224, 0.217),
+    Suite.SPEC2017_SPEED_FP: (0.03, 0.497, 0.256),
+    Suite.SPEC2017_RATE_FP: (0.045, 0.391, 0.271),
+}
+
+
+def build(_ignored):
+    out = {}
+    for suite in PAPER:
+        subset = subset_suite(suite, k=3)
+        weights = [len(c) for c in subset.clusters]
+        identified = validate_subset(suite, subset.subset, weights=weights)
+        randoms = random_subset_errors(suite, k=3, n_sets=2, seed=2017)
+        out[suite] = (identified, randoms)
+    return out
+
+
+def test_table6_random_subsets(run_once):
+    results = run_once(build, None)
+    table = Table(
+        ["sub-suite", "identified %", "rand set1 %", "rand set2 %",
+         "paper identified %", "paper rand %"],
+        title="Table VI: identified vs random subsets (mean error)",
+    )
+    for suite, (identified, randoms) in results.items():
+        p_id, p_r1, p_r2 = PAPER[suite]
+        table.add_row([
+            suite.value,
+            identified.mean_error * 100,
+            randoms[0].mean_error * 100,
+            randoms[1].mean_error * 100,
+            p_id * 100,
+            (p_r1 + p_r2) / 2 * 100,
+        ])
+    print()
+    print(table.render())
+    identified_mean = np.mean(
+        [identified.mean_error for identified, _ in results.values()]
+    )
+    random_mean = np.mean(
+        [r.mean_error for _, randoms in results.values() for r in randoms]
+    )
+    print(f"overall identified {identified_mean:.1%} vs random {random_mean:.1%} "
+          f"(paper: ~6% vs ~30%)")
+    # Shape: identified subsets stay within the paper's accuracy band and
+    # beat the random average.
+    assert identified_mean <= 0.12
+    assert identified_mean < random_mean

@@ -1,0 +1,41 @@
+"""Table VIII — application-domain classification and the distinct
+benchmarks that must be run to cover each domain."""
+
+from repro.core.domain_analysis import analyze_domains
+from repro.reporting import Table
+from repro.workloads.domains import PAPER_DISTINCT, all_domains
+
+
+def test_table8_domains(run_once, profiler):
+    report = run_once(analyze_domains, profiler=profiler)
+    table = Table(
+        ["domain", "members", "model distinct", "paper distinct"],
+        title="Table VIII: application domains and distinct benchmarks",
+    )
+    paper = set(PAPER_DISTINCT)
+    for domain, members in all_domains().items():
+        table.add_row([
+            domain,
+            len(members),
+            ", ".join(sorted(report.distinct[domain])),
+            ", ".join(sorted(m for m in members if m in paper)),
+        ])
+    print()
+    print(table.render())
+
+    # Shape: every domain keeps at least one benchmark; the compact
+    # domains match the paper's marking.
+    for domain in all_domains():
+        assert report.distinct[domain]
+    assert report.distinct["Biomedical"] == ("510.parest_r",)
+    assert set(report.distinct["Combinatorial optimization"]) == {"505.mcf_r"}
+    # Speed twins that mirror rate twins never appear.
+    for members in report.distinct.values():
+        for name in members:
+            if name.startswith("6") and name not in ("628.pop2_s",):
+                # a speed benchmark is marked only when its rate twin
+                # behaves differently
+                from repro.workloads.spec import get_workload
+
+                twin = get_workload(name).rate_partner
+                assert twin is None or report.twin_distance[twin] > 0

@@ -1,0 +1,58 @@
+"""Table IX — sensitivity of the CPU2017 benchmarks to branch
+predictor, L1 D-cache and data-TLB configuration across machines."""
+
+from repro.core.sensitivity import SENSITIVITY_CHARACTERISTICS, classify_sensitivity
+from repro.reporting import Table
+
+#: Table IX highlights (high-sensitivity rows).
+PAPER_HIGH = {
+    "branch_prediction": {"603.bwaves_s", "503.bwaves_r"},
+    "l1_dcache": {"549.fotonik3d_r", "649.fotonik3d_s"},
+    "l1_dtlb": {
+        "503.bwaves_r", "507.cactubssn_r", "557.xz_r", "511.povray_r",
+        "657.xz_s", "649.fotonik3d_s", "607.cactubssn_s",
+    },
+}
+
+
+def build(profiler):
+    return {
+        characteristic: classify_sensitivity(characteristic, profiler=profiler)
+        for characteristic in SENSITIVITY_CHARACTERISTICS
+    }
+
+
+def test_table9_sensitivity(run_once, profiler):
+    reports = run_once(build, profiler)
+    table = Table(
+        ["characteristic", "level", "benchmarks"],
+        title="Table IX: cross-machine sensitivity classification",
+    )
+    for characteristic, report in reports.items():
+        table.add_row([characteristic, "high", ", ".join(sorted(report.high))])
+        table.add_row([characteristic, "medium", ", ".join(sorted(report.medium))])
+    print()
+    print(table.render())
+
+    # Shape: a substantial share of the paper's high-sensitivity
+    # benchmarks lands in our high+medium bins overall.  Per-
+    # characteristic membership is unstable by construction: a
+    # benchmark that is the *worst* on every machine (our fotonik3d /
+    # cactuBSSN for cache/TLB) has zero rank spread and reads as
+    # insensitive — the same artifact the paper's own caveat describes
+    # for leela/xz/mcf under branch prediction.
+    total_paper = total_overlap = 0
+    for characteristic, report in reports.items():
+        paper_high = PAPER_HIGH[characteristic]
+        flagged = set(report.high) | set(report.medium)
+        overlap = paper_high & flagged
+        total_paper += len(paper_high)
+        total_overlap += len(overlap)
+        print(f"{characteristic}: paper-high recovered in model "
+              f"high+medium: {len(overlap)}/{len(paper_high)}")
+    assert total_overlap * 3 >= total_paper
+
+    # Paper caveat: leela is branch-INsensitive because it mispredicts
+    # badly everywhere.
+    branch = reports["branch_prediction"]
+    assert branch.level_of("541.leela_r") in ("low", "medium")

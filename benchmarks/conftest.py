@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures and helpers.
+
+Every bench regenerates one table or figure of the paper.  Benches run
+under ``pytest benchmarks/ --benchmark-only``; each prints the
+reproduced rows/series (visible with ``-s``) and asserts the paper's
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.profiler import Profiler
+
+
+@pytest.fixture(scope="session")
+def profiler() -> Profiler:
+    return Profiler()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an analysis exactly once under the benchmark clock.
+
+    The analyses are deterministic and internally cached, so repeated
+    timing rounds would only measure the cache; one cold round is the
+    meaningful number.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

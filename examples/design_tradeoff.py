@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Scenario: evaluate a design trade-off using only the subset.
+
+The paper's end goal: an architect wants to know whether to spend area
+on a bigger LLC, a bigger L2, a stronger branch predictor, a bigger
+second-level TLB, or faster memory — but cannot simulate the whole
+suite.  This script runs the design space on the Table V subset only,
+and then (because our substrate is fast) checks the answer against the
+full sub-suite.
+"""
+
+from repro import Suite, workloads_in_suite
+from repro.core.designspace import standard_design_space, subset_design_fidelity
+from repro.core.subsetting import subset_suite
+from repro.reporting import Table
+
+
+def main() -> None:
+    suite = Suite.SPEC2017_RATE_INT
+    names = [spec.name for spec in workloads_in_suite(suite)]
+    subset = subset_suite(suite, k=3)
+    print(f"sub-suite: {suite.value}")
+    print(f"subset: {', '.join(subset.subset)} "
+          f"({subset.time_reduction:.1f}x less simulation)\n")
+
+    variants = standard_design_space("skylake-i7-6700")
+    fidelity = subset_design_fidelity(
+        names, list(subset.subset), variants=variants
+    )
+
+    table = Table(
+        ["design option", "subset speedup", "full-suite speedup"],
+        title="Design-space geomean speedups over the baseline",
+        precision=4,
+    )
+    for option in fidelity.full.ranking():
+        table.add_row([
+            option,
+            fidelity.subset.speedups[option],
+            fidelity.full.speedups[option],
+        ])
+    print(table.render())
+
+    print(f"\nsubset picks : {fidelity.subset.best()}")
+    print(f"full suite   : {fidelity.full.best()}")
+    print(f"rank corr    : {fidelity.rank_correlation:.2f}")
+    print(f"max gap      : {fidelity.max_speedup_gap:.3f}")
+    verdict = "faithful" if fidelity.faithful else "check mid-ranking choices"
+    print(f"verdict      : {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: profile benchmarks, inspect CPI stacks, pick a subset.
+
+Walks the three core capabilities in ~40 lines of API use:
+
+1. profile a workload model on a machine model (the paper's
+   perf-counter measurement),
+2. decompose its execution time into a CPI stack (Figure 1),
+3. select a representative 3-benchmark subset of a sub-suite
+   (Table V) and check what it costs in estimation error (Figure 5).
+"""
+
+from repro import Metric, Suite, profile, subset_suite
+from repro.core.validation import validate_subset
+
+
+def main() -> None:
+    # --- 1. profile one benchmark on one machine --------------------------
+    report = profile("505.mcf_r", "skylake-i7-6700")
+    print("== 505.mcf_r on the Skylake i7-6700 model ==")
+    for metric in (
+        Metric.L1D_MPKI, Metric.L2D_MPKI, Metric.L3_MPKI,
+        Metric.L1_DTLB_MPMI, Metric.BRANCH_MPKI, Metric.CPI,
+    ):
+        print(f"  {metric.value:15s} {report.metrics[metric]:10.2f}")
+
+    # --- 2. where do the cycles go? ----------------------------------------
+    stack = report.cpi_stack
+    print("\n== CPI stack (top-down) ==")
+    for component, value in stack.as_dict().items():
+        share = value / stack.total
+        print(f"  {component:16s} {value:6.3f}  {'#' * int(40 * share)}")
+
+    # --- 3. subset a sub-suite ---------------------------------------------
+    result = subset_suite(Suite.SPEC2017_SPEED_INT, k=3)
+    print("\n== SPECspeed INT, 3-benchmark subset ==")
+    print(f"  subset          : {', '.join(result.subset)}")
+    print(f"  time reduction  : {result.time_reduction:.1f}x")
+    print(f"  cut at distance : {result.threshold:.1f}")
+    for representative, cluster in zip(result.subset, result.clusters):
+        print(f"  {representative:18s} represents {list(cluster)}")
+
+    weights = [len(c) for c in result.clusters]
+    validation = validate_subset(
+        Suite.SPEC2017_SPEED_INT, result.subset, weights=weights
+    )
+    print(f"\n  estimated-vs-true suite score error: "
+          f"mean {validation.mean_error:.1%}, max {validation.max_error:.1%} "
+          f"across {len(validation.systems)} commercial systems")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scenario: you can only afford to simulate k benchmarks — which ones?
+
+The paper's motivating use case: detailed simulators run at ~1 MIPS, so
+the multi-trillion-instruction CPU2017 suite is unaffordable.  Given a
+simulation budget (in benchmarks), this script selects the subset,
+reports how much simulation time it saves, and quantifies the accuracy
+you give up — the full error/cost trade-off curve of the paper's
+Section IV-B discussion.
+"""
+
+import argparse
+
+from repro import Suite, analyze_similarity, select_subset, workloads_in_suite
+from repro.core.validation import validate_subset
+from repro.reporting import Table
+
+SUITES = {
+    "speed-int": Suite.SPEC2017_SPEED_INT,
+    "rate-int": Suite.SPEC2017_RATE_INT,
+    "speed-fp": Suite.SPEC2017_SPEED_FP,
+    "rate-fp": Suite.SPEC2017_RATE_FP,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=sorted(SUITES), default="rate-fp")
+    parser.add_argument("--budget", type=int, default=3,
+                        help="number of benchmarks you can simulate")
+    args = parser.parse_args()
+    suite = SUITES[args.suite]
+
+    names = [spec.name for spec in workloads_in_suite(suite)]
+    similarity = analyze_similarity(names)
+    print(f"== {suite.value}: {len(names)} benchmarks, "
+          f"{similarity.n_components} PCs covering "
+          f"{similarity.variance_covered:.0%} of variance ==\n")
+    print(similarity.dendrogram().text)
+
+    table = Table(
+        ["k", "subset", "sim-time reduction", "mean error", "max error"],
+        title="\nBudget trade-off",
+    )
+    for k in range(1, len(names) + 1):
+        subset = select_subset(similarity, k)
+        weights = [len(c) for c in subset.clusters]
+        validation = validate_subset(suite, subset.subset, weights=weights)
+        marker = " <- your budget" if k == args.budget else ""
+        table.add_row([
+            k,
+            ", ".join(sorted(subset.subset)) if k <= 4 else f"({k} benchmarks)",
+            f"{subset.time_reduction:.1f}x{marker}",
+            f"{validation.mean_error:.1%}",
+            f"{validation.max_error:.1%}",
+        ])
+    print(table.render())
+
+    chosen = select_subset(similarity, args.budget)
+    print(f"\nSimulate: {', '.join(chosen.subset)}")
+    print(f"Each representative stands for its cluster; weight suite scores "
+          f"by cluster size: "
+          f"{ {r: len(c) for r, c in zip(chosen.subset, chosen.clusters)} }")
+
+
+if __name__ == "__main__":
+    main()

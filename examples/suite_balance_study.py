@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Scenario: is CPU2017 balanced enough to stand in for *your* domain?
+
+Reproduces the paper's Section V balance study end to end: CPU2017 vs
+CPU2006 coverage, the power spectrum, and the emerging-workload case
+studies (EDA, NoSQL database, graph analytics) — then prints the
+verdict per domain.
+"""
+
+from repro.core.balance import analyze_balance
+from repro.core.casestudies import analyze_case_studies
+from repro.core.power_analysis import analyze_power_spectrum
+from repro.reporting import Table
+
+
+def main() -> None:
+    # --- CPU2017 vs CPU2006 -------------------------------------------------
+    balance = analyze_balance()
+    print("== CPU2017 vs CPU2006 (Fig 11) ==")
+    for plane in (balance.plane_12, balance.plane_34):
+        print(f"  PC{plane.axes[0]}-PC{plane.axes[1]}: "
+              f"area ratio 2017/2006 = {plane.expansion:.2f}, "
+              f"{plane.fraction_2017_outside_2006:.0%} of CPU2017 outside "
+              f"the CPU2006 hull")
+    print(f"  removed CPU2006 benchmarks no longer covered: "
+          f"{', '.join(balance.uncovered_removed)}")
+
+    # --- power spectrum -------------------------------------------------------
+    power = analyze_power_spectrum()
+    print("\n== Power spectrum (Fig 12) ==")
+    print(f"  power-space area ratio 2017/2006: {power.expansion:.2f}")
+    print(f"  core-power spread: 2017 {power.core_power_spread_2017:.2f} W "
+          f"vs 2006 {power.core_power_spread_2006:.2f} W")
+
+    # --- emerging workloads ----------------------------------------------------
+    cases = analyze_case_studies()
+    print("\n== Emerging workloads (Fig 13) ==")
+    table = Table(["workload", "nearest CPU2017", "distance ratio", "covered"])
+    for name, (nearest, _d) in sorted(cases.nearest_cpu2017.items()):
+        table.add_row([
+            name, nearest, cases.coverage_ratio(name),
+            "yes" if cases.is_covered(name) else "NO",
+        ])
+    print(table.render())
+
+    print("\nVerdict:")
+    print("  EDA           -> covered (runs like mcf); no EDA benchmark needed")
+    print("  graph (cc)    -> covered (runs like leela/deepsjeng/xz)")
+    print("  graph (pr)    -> NOT covered: random-access D-TLB behaviour")
+    print("  NoSQL (C*)    -> NOT covered: scale-out I-cache/I-TLB behaviour")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,301 @@
+"""Command-line interface.
+
+Exposes the paper's analyses as ``repro`` subcommands::
+
+    repro list                          # workloads and machines
+    repro profile 505.mcf_r skylake-i7-6700
+    repro subset rate-int -k 3 --validate
+    repro dendrogram speed-fp
+    repro inputsets --category int
+    repro rate-speed
+    repro balance
+    repro power
+    repro casestudies
+    repro sensitivity l1_dtlb
+    repro export --suite rate-int --out matrix.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.workloads.spec import Suite
+
+__all__ = ["main", "build_parser"]
+
+SUITE_ALIASES = {
+    "speed-int": Suite.SPEC2017_SPEED_INT,
+    "rate-int": Suite.SPEC2017_RATE_INT,
+    "speed-fp": Suite.SPEC2017_SPEED_FP,
+    "rate-fp": Suite.SPEC2017_RATE_FP,
+    "cpu2006-int": Suite.SPEC2006_INT,
+    "cpu2006-fp": Suite.SPEC2006_FP,
+    "eda": Suite.SPEC2000_EDA,
+    "database": Suite.EMERGING_DATABASE,
+    "graph": Suite.EMERGING_GRAPH,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Wait of a Decade: Did SPEC CPU 2017 "
+            "Broaden the Performance Horizon?' (HPCA 2018)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list workloads and machines")
+    list_parser.add_argument("--suite", choices=sorted(SUITE_ALIASES))
+    list_parser.add_argument(
+        "--machines", action="store_true", help="list machines instead"
+    )
+
+    profile_parser = sub.add_parser("profile", help="profile one workload")
+    profile_parser.add_argument("workload")
+    profile_parser.add_argument("machine", nargs="?", default="skylake-i7-6700")
+    profile_parser.add_argument(
+        "--engine", choices=("analytic", "trace"), default="analytic"
+    )
+    profile_parser.add_argument("--json", action="store_true")
+
+    subset_parser = sub.add_parser("subset", help="select a benchmark subset")
+    subset_parser.add_argument("suite", choices=sorted(SUITE_ALIASES)[:4] + [
+        "rate-fp", "rate-int", "speed-fp", "speed-int"
+    ])
+    subset_parser.add_argument("-k", type=int, default=3)
+    subset_parser.add_argument("--validate", action="store_true")
+
+    dendro_parser = sub.add_parser("dendrogram", help="sub-suite dendrogram")
+    dendro_parser.add_argument("suite", choices=sorted(SUITE_ALIASES))
+
+    inputs_parser = sub.add_parser(
+        "inputsets", help="representative input sets (Table VII)"
+    )
+    inputs_parser.add_argument(
+        "--category", choices=("int", "fp"), default="int"
+    )
+
+    sub.add_parser("rate-speed", help="rate vs speed comparison (Sec IV-D)")
+    sub.add_parser("balance", help="CPU2017 vs CPU2006 coverage (Fig 11)")
+    sub.add_parser("power", help="power-spectrum comparison (Fig 12)")
+    sub.add_parser("casestudies", help="EDA/database/graph case studies (Fig 13)")
+
+    sensitivity_parser = sub.add_parser(
+        "sensitivity", help="cross-machine sensitivity (Table IX)"
+    )
+    sensitivity_parser.add_argument(
+        "characteristic",
+        choices=("branch_prediction", "l1_dcache", "l1_dtlb"),
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="run the full reproduction, write a Markdown report"
+    )
+    report_parser.add_argument("--out", default="REPORT.md")
+
+    export_parser = sub.add_parser("export", help="export a feature matrix")
+    export_parser.add_argument("--suite", choices=sorted(SUITE_ALIASES),
+                               default="rate-int")
+    export_parser.add_argument("--out", required=True)
+    return parser
+
+
+def _suite_names(alias: str) -> List[str]:
+    from repro.workloads.spec import workloads_in_suite
+
+    return [spec.name for spec in workloads_in_suite(SUITE_ALIASES[alias])]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.machines:
+        from repro.uarch.machine import all_machines
+
+        for machine in all_machines():
+            print(machine.summary())
+        return 0
+    from repro.workloads.spec import all_workloads, workloads_in_suite
+
+    if args.suite:
+        specs = workloads_in_suite(SUITE_ALIASES[args.suite])
+    else:
+        specs = all_workloads()
+    for spec in specs:
+        print(f"{spec.name:20s} {spec.suite.value:14s} {spec.domain}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.perf.profiler import Profiler
+
+    profiler = Profiler(engine=args.engine)
+    report = profiler.profile(args.workload, args.machine)
+    if args.json:
+        import json
+
+        from repro.reporting.export import report_to_dict
+
+        print(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
+        return 0
+    print(f"{report.workload} on {report.machine} ({args.engine} engine)")
+    for metric, value in report.metrics.items():
+        print(f"  {metric.value:18s} {value:12.3f}")
+    print("CPI stack:")
+    for component, value in report.cpi_stack.as_dict().items():
+        print(f"  {component:18s} {value:12.4f}")
+    return 0
+
+
+def _cmd_subset(args: argparse.Namespace) -> int:
+    from repro.core.subsetting import subset_suite
+
+    suite = SUITE_ALIASES[args.suite]
+    result = subset_suite(suite, k=args.k)
+    print(f"{suite.value}: {args.k}-benchmark subset")
+    for representative, cluster in zip(result.subset, result.clusters):
+        print(f"  {representative:20s} <- {', '.join(cluster)}")
+    print(f"simulation-time reduction: {result.time_reduction:.1f}x")
+    if args.validate:
+        from repro.core.validation import validate_subset
+
+        weights = [len(c) for c in result.clusters]
+        validation = validate_subset(suite, result.subset, weights=weights)
+        print(f"validation: mean error {validation.mean_error:.1%}, "
+              f"max {validation.max_error:.1%} over "
+              f"{len(validation.systems)} systems")
+    return 0
+
+
+def _cmd_dendrogram(args: argparse.Namespace) -> int:
+    from repro.core.similarity import analyze_similarity
+
+    result = analyze_similarity(_suite_names(args.suite))
+    print(f"{SUITE_ALIASES[args.suite].value}: {result.n_components} PCs, "
+          f"{result.variance_covered:.0%} variance")
+    print(result.dendrogram().text)
+    print(f"most distinct: {result.tree.most_distinct_leaf()}")
+    return 0
+
+
+def _cmd_inputsets(args: argparse.Namespace) -> int:
+    from repro.core.inputsets import analyze_input_sets
+
+    suites = (
+        (Suite.SPEC2017_RATE_INT, Suite.SPEC2017_SPEED_INT)
+        if args.category == "int"
+        else (Suite.SPEC2017_RATE_FP, Suite.SPEC2017_SPEED_FP)
+    )
+    analysis = analyze_input_sets(suites=suites)
+    print(f"representative input sets ({args.category.upper()}):")
+    for name, index in sorted(analysis.representative.items()):
+        print(f"  {name:20s} input set {index}")
+    return 0
+
+
+def _cmd_rate_speed(_args: argparse.Namespace) -> int:
+    from repro.core.rate_speed import compare_rate_speed
+
+    comparison = compare_rate_speed()
+    print("rate vs speed twin distances (descending):")
+    for pair in comparison.ranked("all"):
+        print(f"  {pair.rate:20s} / {pair.speed:20s} {pair.distance:7.2f}")
+    return 0
+
+
+def _cmd_balance(_args: argparse.Namespace) -> int:
+    from repro.core.balance import analyze_balance
+
+    report = analyze_balance()
+    for plane in (report.plane_12, report.plane_34):
+        print(f"PC{plane.axes[0]}-PC{plane.axes[1]}: "
+              f"area 2017/2006 = {plane.expansion:.2f}, "
+              f"{plane.fraction_2017_outside_2006:.0%} of 2017 outside 2006")
+    print(f"uncovered removed CPU2006 benchmarks: "
+          f"{', '.join(report.uncovered_removed)}")
+    return 0
+
+
+def _cmd_power(_args: argparse.Namespace) -> int:
+    from repro.core.power_analysis import analyze_power_spectrum
+
+    spectrum = analyze_power_spectrum()
+    print(f"power-space area 2017/2006: {spectrum.expansion:.2f}")
+    print(f"core power spread: 2017 {spectrum.core_power_spread_2017:.2f} W, "
+          f"2006 {spectrum.core_power_spread_2006:.2f} W")
+    return 0
+
+
+def _cmd_casestudies(_args: argparse.Namespace) -> int:
+    from repro.core.casestudies import analyze_case_studies
+
+    report = analyze_case_studies()
+    for name, (nearest, distance) in sorted(report.nearest_cpu2017.items()):
+        covered = "covered" if report.is_covered(name) else "NOT covered"
+        print(f"  {name:10s} nearest {nearest:20s} "
+              f"d={distance:6.2f} ({covered})")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.sensitivity import classify_sensitivity
+
+    report = classify_sensitivity(args.characteristic)
+    print(f"{args.characteristic} sensitivity (rank spread across "
+          f"{len(report.machines)} machines):")
+    print(f"  high:   {', '.join(sorted(report.high))}")
+    print(f"  medium: {', '.join(sorted(report.medium))}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting.report import generate_report
+
+    path = generate_report(args.out)
+    print(f"wrote reproduction report to {path}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.perf.dataset import build_feature_matrix
+    from repro.reporting.export import feature_matrix_to_csv
+
+    matrix = build_feature_matrix(_suite_names(args.suite))
+    path = feature_matrix_to_csv(matrix, args.out)
+    print(f"wrote {matrix.n_workloads} x {matrix.n_features} matrix to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "profile": _cmd_profile,
+    "subset": _cmd_subset,
+    "dendrogram": _cmd_dendrogram,
+    "inputsets": _cmd_inputsets,
+    "rate-speed": _cmd_rate_speed,
+    "balance": _cmd_balance,
+    "power": _cmd_power,
+    "casestudies": _cmd_casestudies,
+    "sensitivity": _cmd_sensitivity,
+    "report": _cmd_report,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Emerging-workload case studies (Section V-D/E/F, Figure 13).
+
+Clusters the CPU2017 benchmarks together with EDA (175.vpr, 300.twolf),
+database (Cassandra/YCSB) and graph-analytics (pagerank, connected
+components) workloads.  Findings to reproduce:
+
+* EDA sits close to the CPU2017 mcf benchmarks — the domain is covered
+  even though no EDA benchmark is included.
+* The Cassandra workloads are far from every CPU2017 benchmark, driven
+  by instruction-cache and instruction-TLB behaviour.
+* Pagerank is distinct (extreme L1 D-TLB activity from random vertex
+  access); connected components lands near leela/deepsjeng/xz, so the
+  missing graph domain does not unbalance the suite much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.similarity import SimilarityResult, analyze_similarity
+from repro.errors import AnalysisError
+from repro.perf.profiler import Profiler
+from repro.workloads.emerging import DATABASE_NAMES, GRAPH_NAMES
+from repro.workloads.spec import Suite, workloads_in_suite
+from repro.workloads.spec2000 import EDA_NAMES
+
+__all__ = ["CaseStudyReport", "analyze_case_studies"]
+
+
+@dataclass(frozen=True)
+class CaseStudyReport:
+    """Figure 13: CPU2017 vs EDA/database/graph workloads."""
+
+    similarity: SimilarityResult
+    nearest_cpu2017: Dict[str, Tuple[str, float]]
+    median_cpu2017_distance: float
+
+    def is_covered(self, workload: str, factor: float = 1.0) -> bool:
+        """Whether a workload sits within the CPU2017 neighbourhood.
+
+        Covered means its nearest CPU2017 benchmark is no farther than
+        ``factor`` x the median pairwise distance among CPU2017
+        benchmarks themselves.
+        """
+        try:
+            _, distance = self.nearest_cpu2017[workload]
+        except KeyError:
+            raise AnalysisError(f"{workload!r} is not an emerging workload") from None
+        return distance <= factor * self.median_cpu2017_distance
+
+    def coverage_ratio(self, workload: str) -> float:
+        """Nearest-CPU2017 distance over the CPU2017 median distance."""
+        _, distance = self.nearest_cpu2017[workload]
+        return distance / self.median_cpu2017_distance
+
+
+def analyze_case_studies(
+    machines: Optional[List[str]] = None,
+    profiler: Optional[Profiler] = None,
+) -> CaseStudyReport:
+    """Run the Figure 13 combined clustering."""
+    cpu2017 = [
+        s.name
+        for s in workloads_in_suite(
+            Suite.SPEC2017_RATE_INT,
+            Suite.SPEC2017_SPEED_INT,
+            Suite.SPEC2017_RATE_FP,
+            Suite.SPEC2017_SPEED_FP,
+        )
+    ]
+    emerging = list(EDA_NAMES) + list(DATABASE_NAMES) + list(GRAPH_NAMES)
+    result = analyze_similarity(
+        cpu2017 + emerging, machines=machines, profiler=profiler
+    )
+    labels = list(result.workloads)
+    idx17 = np.array([labels.index(n) for n in cpu2017])
+
+    nearest: Dict[str, Tuple[str, float]] = {}
+    for name in emerging:
+        i = labels.index(name)
+        distances = result.distances[i, idx17]
+        j = int(np.argmin(distances))
+        nearest[name] = (cpu2017[j], float(distances[j]))
+
+    within = result.distances[np.ix_(idx17, idx17)]
+    median = float(np.median(within[within > 0]))
+    return CaseStudyReport(
+        similarity=result,
+        nearest_cpu2017=nearest,
+        median_cpu2017_distance=median,
+    )

@@ -1,0 +1,35 @@
+"""Exception types for the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """A workload name was not found in the registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"unknown workload: {self.name!r}"
+
+
+class UnknownMachineError(ReproError, KeyError):
+    """A machine name was not found in the registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"unknown machine: {self.name!r}"
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model or simulator was configured with invalid parameters."""
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """An analysis pipeline could not be completed."""

@@ -1,0 +1,32 @@
+"""Performance-counter profiling of workload models on machine models.
+
+This package is the stand-in for the paper's ``perf``-based measurement
+infrastructure.  :class:`~repro.perf.profiler.Profiler` evaluates a
+:class:`~repro.workloads.spec.WorkloadSpec` on a
+:class:`~repro.uarch.machine.MachineConfig` and produces a
+:class:`~repro.perf.counters.CounterReport` with the Table III metrics,
+a CPI stack (Figure 1), and a RAPL-style power sample (Figure 12).
+
+Two engines are available:
+
+* ``analytic`` (default) — closed-form evaluation of the workload's
+  reuse/branch profiles against the machine's structures; fast enough
+  to profile the full 80-workload x 7-machine study in seconds.
+* ``trace`` — synthesizes a concrete instruction/address trace and runs
+  it through the exact simulators in :mod:`repro.uarch`; slower, used
+  for validation and microarchitectural deep dives.
+"""
+
+from repro.perf.counters import ALL_METRICS, CounterReport, Metric
+from repro.perf.dataset import FeatureMatrix, build_feature_matrix
+from repro.perf.profiler import Profiler, profile
+
+__all__ = [
+    "ALL_METRICS",
+    "CounterReport",
+    "FeatureMatrix",
+    "Metric",
+    "Profiler",
+    "build_feature_matrix",
+    "profile",
+]

@@ -1,0 +1,108 @@
+"""Profiler facade: engine selection and memoization.
+
+Profiling is deterministic for a given (workload, machine, engine), so
+results are cached process-wide; the full 80-workload x 7-machine study
+profiles each pair exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.perf.analytic import profile_analytic
+from repro.perf.counters import CounterReport
+from repro.uarch.machine import MachineConfig, get_machine
+from repro.workloads.spec import WorkloadSpec, get_workload
+
+__all__ = ["Profiler", "profile"]
+
+_ENGINES = ("analytic", "trace")
+
+
+class Profiler:
+    """Profiles workloads on machines with a chosen engine.
+
+    Parameters
+    ----------
+    engine:
+        ``"analytic"`` (default, closed form) or ``"trace"`` (exact
+        simulation of a synthesized trace; slower).
+    trace_instructions:
+        Trace length for the trace engine, in instructions.
+    seed:
+        Base RNG seed for trace synthesis (ignored by the analytic
+        engine); results stay deterministic per (workload, machine).
+    """
+
+    def __init__(
+        self,
+        engine: str = "analytic",
+        trace_instructions: int = 200_000,
+        seed: int = 2017,
+    ) -> None:
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}"
+            )
+        self.engine = engine
+        self.trace_instructions = trace_instructions
+        self.seed = seed
+        self._cache: Dict[Tuple[str, str], CounterReport] = {}
+
+    def profile(
+        self,
+        workload: Union[str, WorkloadSpec],
+        machine: Union[str, MachineConfig],
+    ) -> CounterReport:
+        """Profile one workload on one machine (cached)."""
+        spec = get_workload(workload) if isinstance(workload, str) else workload
+        config = get_machine(machine) if isinstance(machine, str) else machine
+        key = (spec.name, config.name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.engine == "analytic":
+            report = profile_analytic(spec, config)
+        else:
+            from repro.perf.trace_engine import profile_trace
+
+            report = profile_trace(
+                spec,
+                config,
+                instructions=self.trace_instructions,
+                seed=self.seed,
+            )
+        self._cache[key] = report
+        return report
+
+    def profile_many(
+        self,
+        workloads: Iterable[Union[str, WorkloadSpec]],
+        machines: Iterable[Union[str, MachineConfig]],
+    ) -> List[CounterReport]:
+        """Profile the cross product of workloads and machines."""
+        machine_list = list(machines)
+        reports = []
+        for workload in workloads:
+            for machine in machine_list:
+                reports.append(self.profile(workload, machine))
+        return reports
+
+    def clear_cache(self) -> None:
+        """Drop all memoized reports (test hook)."""
+        self._cache.clear()
+
+
+_DEFAULT_PROFILER: Optional[Profiler] = None
+
+
+def profile(
+    workload: Union[str, WorkloadSpec],
+    machine: Union[str, MachineConfig],
+) -> CounterReport:
+    """Profile with the shared default analytic profiler."""
+    global _DEFAULT_PROFILER
+    if _DEFAULT_PROFILER is None:
+        _DEFAULT_PROFILER = Profiler()
+    return _DEFAULT_PROFILER.profile(workload, machine)

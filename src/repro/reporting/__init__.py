@@ -1,0 +1,12 @@
+"""Text rendering of the paper's tables and figures."""
+
+from repro.reporting.figures import BarSeries, ScatterSeries, render_scatter
+from repro.reporting.tables import Table, format_float
+
+__all__ = [
+    "BarSeries",
+    "ScatterSeries",
+    "Table",
+    "format_float",
+    "render_scatter",
+]

@@ -1,0 +1,108 @@
+"""CSV / JSON export of profiling and analysis results.
+
+Downstream users want the raw numbers: feature matrices for their own
+statistics, counter reports for spreadsheets, dendrograms for plotting
+tools.  Everything here writes plain standard-library formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.errors import ConfigurationError
+from repro.perf.counters import CounterReport
+from repro.perf.dataset import FeatureMatrix
+from repro.stats.cluster import ClusterTree
+
+__all__ = [
+    "feature_matrix_to_csv",
+    "reports_to_csv",
+    "report_to_dict",
+    "tree_to_dict",
+    "write_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def feature_matrix_to_csv(matrix: FeatureMatrix, path: PathLike) -> Path:
+    """Write a feature matrix as CSV (one row per workload)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["workload", *matrix.features])
+        for i, workload in enumerate(matrix.workloads):
+            writer.writerow([workload, *matrix.values[i].tolist()])
+    return path
+
+
+def report_to_dict(report: CounterReport) -> dict:
+    """A counter report as a JSON-serializable dictionary."""
+    data = {
+        "workload": report.workload,
+        "machine": report.machine,
+        "instructions": report.instructions,
+        "metrics": {metric.value: value for metric, value in report.metrics.items()},
+        "cpi_stack": report.cpi_stack.as_dict(),
+    }
+    if report.power is not None:
+        data["power"] = {
+            "core_watts": report.power.core_watts,
+            "llc_watts": report.power.llc_watts,
+            "dram_watts": report.power.dram_watts,
+        }
+    return data
+
+
+def reports_to_csv(reports: Iterable[CounterReport], path: PathLike) -> Path:
+    """Write counter reports as CSV (one row per workload x machine)."""
+    reports = list(reports)
+    if not reports:
+        raise ConfigurationError("no reports to export")
+    metrics = sorted({m for r in reports for m in r.metrics}, key=lambda m: m.value)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["workload", "machine", *(m.value for m in metrics)])
+        for report in reports:
+            writer.writerow(
+                [
+                    report.workload,
+                    report.machine,
+                    *(report.metrics.get(m, "") for m in metrics),
+                ]
+            )
+    return path
+
+
+def tree_to_dict(tree: ClusterTree) -> dict:
+    """A dendrogram as nested JSON (d3-style ``children`` hierarchy)."""
+    n = tree.n_leaves
+    children = {
+        n + step: (int(a), int(b))
+        for step, (a, b, _d, _s) in enumerate(tree.merges)
+    }
+    heights = {
+        n + step: float(d) for step, (_a, _b, d, _s) in enumerate(tree.merges)
+    }
+
+    def node(index: int) -> dict:
+        if index < n:
+            return {"name": tree.labels[index]}
+        left, right = children[index]
+        return {
+            "distance": heights[index],
+            "children": [node(left), node(right)],
+        }
+
+    return node(n + len(tree.merges) - 1)
+
+
+def write_json(data: dict, path: PathLike) -> Path:
+    """Write a dictionary as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for benchmark/report output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Table", "format_float"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_float(value: float, precision: int = 2) -> str:
+    """Compact float formatting: trims trailing zeros, keeps magnitude."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.001:
+        return f"{value:.2e}"
+    text = f"{value:.{precision}f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+@dataclass
+class Table:
+    """A simple aligned text table.
+
+    >>> t = Table(["name", "value"], title="demo")
+    >>> t.add_row(["a", 1.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    columns: Sequence[str]
+    title: Optional[str] = None
+    precision: int = 2
+    _rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append one row; cell count must match the columns."""
+        rendered = [self._format(cell) for cell in cells]
+        if len(rendered) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(rendered)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self._rows.append(rendered)
+
+    def _format(self, cell: Cell) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, float):
+            return format_float(cell, self.precision)
+        return str(cell)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """The aligned text table."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(widths[j]) for j, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(
+                " | ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,144 @@
+"""Principal component analysis with Kaiser-criterion retention.
+
+PCA decorrelates the (metric, machine) feature variables before
+clustering (Section III).  We standardize the features and
+eigendecompose the correlation matrix; the Kaiser criterion keeps the
+components whose eigenvalue is at least 1 — i.e. that explain more
+variance than any single original (standardized) variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.stats.preprocess import standardize
+
+__all__ = ["PcaResult", "fit_pca"]
+
+
+@dataclass(frozen=True)
+class PcaResult:
+    """A fitted PCA.
+
+    Attributes
+    ----------
+    eigenvalues:
+        Eigenvalues of the correlation matrix, descending.
+    explained_variance_ratio:
+        Eigenvalues normalized to sum to 1.
+    loadings:
+        Component loading vectors, shape ``(n_components, n_features)``;
+        row ``k`` holds the feature weights of PC ``k+1``.
+    scores:
+        Projection of the (standardized) input onto all components,
+        shape ``(n_samples, n_components)``.
+    kaiser_components:
+        Number of components retained by the Kaiser criterion
+        (eigenvalue >= 1).
+    feature_labels:
+        Optional column labels carried through for interpretation.
+    """
+
+    eigenvalues: np.ndarray
+    explained_variance_ratio: np.ndarray
+    loadings: np.ndarray
+    scores: np.ndarray
+    kaiser_components: int
+    feature_labels: Optional[Tuple[str, ...]] = None
+
+    @property
+    def n_components(self) -> int:
+        return self.loadings.shape[0]
+
+    def retained_scores(self, n_components: Optional[int] = None) -> np.ndarray:
+        """Scores truncated to the retained (or requested) components."""
+        k = n_components if n_components is not None else self.kaiser_components
+        if not 1 <= k <= self.n_components:
+            raise AnalysisError(
+                f"n_components must be in [1, {self.n_components}], got {k}"
+            )
+        return self.scores[:, :k]
+
+    def cumulative_variance(self, n_components: Optional[int] = None) -> float:
+        """Fraction of variance covered by the first k components."""
+        k = n_components if n_components is not None else self.kaiser_components
+        if not 1 <= k <= self.n_components:
+            raise AnalysisError(
+                f"n_components must be in [1, {self.n_components}], got {k}"
+            )
+        return float(self.explained_variance_ratio[:k].sum())
+
+    def dominant_features(self, component: int, top: int = 5) -> Tuple[str, ...]:
+        """The feature labels with the largest |loading| on a component.
+
+        ``component`` is 1-based (PC1, PC2, ...), matching the paper's
+        figure captions.
+        """
+        if self.feature_labels is None:
+            raise AnalysisError("PCA was fitted without feature labels")
+        if not 1 <= component <= self.n_components:
+            raise AnalysisError(
+                f"component must be in [1, {self.n_components}], got {component}"
+            )
+        weights = np.abs(self.loadings[component - 1])
+        order = np.argsort(weights)[::-1][:top]
+        return tuple(self.feature_labels[j] for j in order)
+
+
+def fit_pca(
+    values: np.ndarray,
+    feature_labels: Optional[Tuple[str, ...]] = None,
+    already_standardized: bool = False,
+) -> PcaResult:
+    """Fit PCA on a samples x features matrix.
+
+    The matrix is standardized column-wise unless
+    ``already_standardized`` is set, so the eigenvalues are those of the
+    feature correlation matrix and the Kaiser criterion applies.
+    """
+    matrix = np.asarray(values, dtype=float)
+    if matrix.ndim != 2:
+        raise AnalysisError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    n_samples, n_features = matrix.shape
+    if n_samples < 2:
+        raise AnalysisError("PCA needs at least two samples")
+    if feature_labels is not None and len(feature_labels) != n_features:
+        raise AnalysisError("feature_labels must match the number of columns")
+    data = matrix if already_standardized else standardize(matrix)
+
+    # Eigendecomposition of the correlation matrix.  With fewer samples
+    # than features (the usual case here: ~10 benchmarks x 140 features)
+    # at most n_samples - 1 eigenvalues are nonzero.
+    correlation = (data.T @ data) / n_samples
+    eigenvalues, eigenvectors = np.linalg.eigh(correlation)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = np.maximum(eigenvalues[order], 0.0)
+    eigenvectors = eigenvectors[:, order]
+
+    max_components = min(n_samples - 1, n_features)
+    eigenvalues = eigenvalues[:max_components]
+    eigenvectors = eigenvectors[:, :max_components]
+
+    # Deterministic sign convention: largest-magnitude loading positive.
+    for k in range(eigenvectors.shape[1]):
+        pivot = np.argmax(np.abs(eigenvectors[:, k]))
+        if eigenvectors[pivot, k] < 0.0:
+            eigenvectors[:, k] = -eigenvectors[:, k]
+
+    scores = data @ eigenvectors
+    total = eigenvalues.sum()
+    ratio = eigenvalues / total if total > 0.0 else np.zeros_like(eigenvalues)
+    kaiser = int((eigenvalues >= 1.0).sum())
+    kaiser = max(1, min(kaiser, max_components))
+    return PcaResult(
+        eigenvalues=eigenvalues,
+        explained_variance_ratio=ratio,
+        loadings=eigenvectors.T,
+        scores=scores,
+        kaiser_components=kaiser,
+        feature_labels=feature_labels,
+    )

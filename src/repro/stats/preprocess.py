@@ -1,0 +1,43 @@
+"""Feature preprocessing shared by the statistical analyses."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["standardize", "drop_constant_columns"]
+
+
+def standardize(values: np.ndarray) -> np.ndarray:
+    """Z-score each column; zero-variance columns become all-zero.
+
+    PCA on standardized data extracts components of the correlation
+    matrix, which is what the paper's methodology (and its Kaiser
+    criterion, eigenvalue >= 1) assumes.
+    """
+    matrix = np.asarray(values, dtype=float)
+    if matrix.ndim != 2:
+        raise AnalysisError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    safe = np.where(std > 0.0, std, 1.0)
+    return (matrix - mean) / safe
+
+
+def drop_constant_columns(
+    values: np.ndarray, labels: Tuple[str, ...]
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """Remove zero-variance columns (they carry no similarity signal)."""
+    matrix = np.asarray(values, dtype=float)
+    if matrix.ndim != 2:
+        raise AnalysisError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    if matrix.shape[1] != len(labels):
+        raise AnalysisError("labels must match the number of columns")
+    keep = matrix.std(axis=0) > 0.0
+    if not keep.any():
+        raise AnalysisError("all feature columns are constant")
+    kept_labels = tuple(label for label, flag in zip(labels, keep) if flag)
+    return matrix[:, keep], kept_labels

@@ -1,0 +1,407 @@
+"""Machine configurations.
+
+The paper profiles every benchmark on seven commercial machines spanning
+three ISAs (Table IV) to factor machine idiosyncrasies out of the
+similarity analysis, and measures power on three Intel machines for the
+power study (Figure 12).  This module defines those machines as
+:class:`MachineConfig` objects consumed by both profiling engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, UnknownMachineError
+from repro.uarch.branch import PredictorSpec
+from repro.uarch.cache import CacheConfig
+from repro.uarch.pipeline import MemoryLatencies
+from repro.uarch.power import PowerModel
+from repro.uarch.tlb import PageWalker, TlbConfig
+
+__all__ = [
+    "MachineConfig",
+    "get_machine",
+    "all_machines",
+    "paper_machines",
+    "power_study_machines",
+    "PAPER_MACHINE_NAMES",
+    "POWER_MACHINE_NAMES",
+    "SENSITIVITY_MACHINE_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One profiled machine.
+
+    Parameters
+    ----------
+    name:
+        Registry key (e.g. ``"skylake-i7-6700"``).
+    description:
+        Human-readable processor name as it appears in Table IV.
+    isa:
+        ``"x86"`` or ``"sparc"``.
+    frequency_ghz / width:
+        Core clock and issue width.
+    l1i / l1d / l2 / l3:
+        Cache geometries; ``l3`` is ``None`` for machines without an L3
+        (the Xeon E5405's large shared L2 is its last cache level).
+    itlb / dtlb / l2tlb:
+        TLB geometries; ``l2tlb`` is ``None`` when absent; when present
+        ``unified_l2tlb`` says whether it serves both streams.
+    predictor:
+        Analytic branch predictor description.
+    latencies:
+        Exposed miss latencies in cycles.
+    walker:
+        Page-walk cost model.
+    isa_path_factor:
+        Dynamic-instruction-count multiplier relative to the x86 build
+        of the same program (RISC ISAs execute more, simpler
+        instructions, which rescales every per-instruction metric).
+    power:
+        RAPL-style power model; only meaningful for the Intel machines
+        used in the power study.
+    """
+
+    name: str
+    description: str
+    isa: str
+    frequency_ghz: float
+    width: float
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    l3: Optional[CacheConfig]
+    itlb: TlbConfig
+    dtlb: TlbConfig
+    l2tlb: Optional[TlbConfig]
+    unified_l2tlb: bool
+    predictor: PredictorSpec
+    latencies: MemoryLatencies
+    walker: PageWalker = field(default_factory=PageWalker)
+    isa_path_factor: float = 1.0
+    power: Optional[PowerModel] = None
+
+    def __post_init__(self) -> None:
+        if self.isa not in ("x86", "sparc"):
+            raise ConfigurationError(f"unsupported ISA {self.isa!r}")
+        if self.frequency_ghz <= 0.0:
+            raise ConfigurationError("frequency_ghz must be > 0")
+        if self.width < 1.0:
+            raise ConfigurationError("width must be >= 1")
+        if self.isa_path_factor < 1.0:
+            raise ConfigurationError("isa_path_factor must be >= 1")
+
+    @property
+    def last_level_cache(self) -> CacheConfig:
+        """The outermost cache level (L3, or L2 when there is no L3)."""
+        return self.l3 if self.l3 is not None else self.l2
+
+    @property
+    def has_l3(self) -> bool:
+        return self.l3 is not None
+
+    def summary(self) -> str:
+        """One-line hardware summary in the style of Table IV."""
+        llc = self.last_level_cache.describe()
+        return (
+            f"{self.description} ({self.isa}, {self.frequency_ghz:.1f} GHz): "
+            f"L1D {self.l1d.describe()}, L2 {self.l2.describe()}, LLC {llc}"
+        )
+
+
+def _kb(n: int) -> int:
+    return n << 10
+
+
+def _mb(n: int) -> int:
+    return n << 20
+
+
+def _x86_tlbs(
+    dtlb: int = 64, itlb: int = 128, l2: Optional[int] = 1536
+) -> Tuple[TlbConfig, TlbConfig, Optional[TlbConfig]]:
+    # 1536-entry second-level TLBs are 12-way (128 sets); smaller ones 8-way.
+    l2_assoc = 12 if l2 and l2 % 12 == 0 else 8
+    l2_config = TlbConfig(entries=l2, associativity=l2_assoc) if l2 else None
+    return (
+        TlbConfig(entries=itlb, associativity=8),
+        TlbConfig(entries=dtlb, associativity=4),
+        l2_config,
+    )
+
+
+def _build_machines() -> Dict[str, MachineConfig]:
+    machines: Dict[str, MachineConfig] = {}
+
+    def add(machine: MachineConfig) -> None:
+        machines[machine.name] = machine
+
+    # --- Intel Core i7-6700 (Skylake): the characterization machine ------
+    itlb, dtlb, l2tlb = _x86_tlbs(dtlb=64, itlb=128, l2=1536)
+    add(
+        MachineConfig(
+            name="skylake-i7-6700",
+            description="Intel Core i7-6700",
+            isa="x86",
+            frequency_ghz=3.4,
+            width=4.0,
+            l1i=CacheConfig(_kb(32), associativity=8),
+            l1d=CacheConfig(_kb(32), associativity=8),
+            l2=CacheConfig(_kb(256), associativity=4, hit_latency=12),
+            l3=CacheConfig(_mb(8), associativity=16, hit_latency=40),
+            itlb=itlb,
+            dtlb=dtlb,
+            l2tlb=l2tlb,
+            unified_l2tlb=True,
+            predictor=PredictorSpec(
+                kind="tournament", strength=0.93, table_entries=65536,
+                mispredict_penalty=16.0,
+            ),
+            latencies=MemoryLatencies(l2=12, l3=40, memory=210, page_walk=28),
+            walker=PageWalker(walk_cycles=28, cached_fraction=0.6, cached_cycles=8),
+            power=PowerModel(
+                core_static_watts=9.0,
+                energy_per_instruction_nj=0.75,
+                energy_per_fp_nj=1.2,
+                energy_per_simd_nj=2.4,
+                llc_static_watts=1.2,
+                energy_per_llc_access_nj=3.5,
+                dram_static_watts=1.8,
+                energy_per_dram_access_nj=20.0,
+            ),
+        )
+    )
+
+    # --- Intel Xeon E5-2650 v4 (Broadwell): 30 MB LLC server part --------
+    itlb, dtlb, l2tlb = _x86_tlbs(dtlb=64, itlb=128, l2=1536)
+    add(
+        MachineConfig(
+            name="xeon-e5-2650v4",
+            description="Intel Xeon E5-2650 v4",
+            isa="x86",
+            frequency_ghz=2.2,
+            width=4.0,
+            l1i=CacheConfig(_kb(32), associativity=8),
+            l1d=CacheConfig(_kb(32), associativity=8),
+            l2=CacheConfig(_kb(256), associativity=8, hit_latency=12),
+            l3=CacheConfig(_mb(30), associativity=20, hit_latency=50),
+            itlb=itlb,
+            dtlb=dtlb,
+            l2tlb=l2tlb,
+            unified_l2tlb=True,
+            predictor=PredictorSpec(
+                kind="tournament", strength=0.90, table_entries=32768,
+                mispredict_penalty=15.0,
+            ),
+            latencies=MemoryLatencies(l2=12, l3=50, memory=240, page_walk=30),
+            walker=PageWalker(walk_cycles=30, cached_fraction=0.55, cached_cycles=9),
+            power=PowerModel(
+                core_static_watts=14.0,
+                energy_per_instruction_nj=0.95,
+                energy_per_fp_nj=1.4,
+                energy_per_simd_nj=2.8,
+                llc_static_watts=3.0,
+                energy_per_llc_access_nj=5.0,
+                dram_static_watts=4.0,
+                energy_per_dram_access_nj=26.0,
+            ),
+        )
+    )
+
+    # --- Intel Xeon E5-2430 v2 (Ivy Bridge): 15 MB LLC -------------------
+    itlb, dtlb, l2tlb = _x86_tlbs(dtlb=64, itlb=128, l2=512)
+    add(
+        MachineConfig(
+            name="xeon-e5-2430v2",
+            description="Intel Xeon E5-2430 v2",
+            isa="x86",
+            frequency_ghz=2.5,
+            width=4.0,
+            l1i=CacheConfig(_kb(32), associativity=8),
+            l1d=CacheConfig(_kb(32), associativity=8),
+            l2=CacheConfig(_kb(256), associativity=8, hit_latency=12),
+            l3=CacheConfig(_mb(15), associativity=20, hit_latency=45),
+            itlb=itlb,
+            dtlb=dtlb,
+            l2tlb=l2tlb,
+            unified_l2tlb=True,
+            predictor=PredictorSpec(
+                kind="gshare", strength=0.88, table_entries=16384,
+                mispredict_penalty=15.0,
+            ),
+            latencies=MemoryLatencies(l2=12, l3=45, memory=230, page_walk=32),
+            walker=PageWalker(walk_cycles=32, cached_fraction=0.5, cached_cycles=10),
+            power=PowerModel(
+                core_static_watts=11.0,
+                energy_per_instruction_nj=1.05,
+                energy_per_fp_nj=1.5,
+                energy_per_simd_nj=2.9,
+                llc_static_watts=2.2,
+                energy_per_llc_access_nj=4.5,
+                dram_static_watts=3.2,
+                energy_per_dram_access_nj=24.0,
+            ),
+        )
+    )
+
+    # --- Intel Xeon E5405 (Core 2 era): big shared L2, no L3 -------------
+    itlb, dtlb, l2tlb = _x86_tlbs(dtlb=256, itlb=128, l2=None)
+    add(
+        MachineConfig(
+            name="xeon-e5405",
+            description="Intel Xeon E5405",
+            isa="x86",
+            frequency_ghz=2.0,
+            width=4.0,
+            l1i=CacheConfig(_kb(32), associativity=8),
+            l1d=CacheConfig(_kb(32), associativity=8),
+            l2=CacheConfig(_mb(6), associativity=24, hit_latency=15),
+            l3=None,
+            itlb=itlb,
+            dtlb=dtlb,
+            l2tlb=l2tlb,
+            unified_l2tlb=False,
+            predictor=PredictorSpec(
+                kind="bimodal", strength=0.78, table_entries=4096,
+                mispredict_penalty=13.0,
+            ),
+            latencies=MemoryLatencies(l2=15, l3=15, memory=280, page_walk=45),
+            walker=PageWalker(walk_cycles=45, cached_fraction=0.3, cached_cycles=15),
+        )
+    )
+
+    # --- SPARC-IV+ (Sun Fire V490): older wide-L1 SPARC ------------------
+    add(
+        MachineConfig(
+            name="sparc-iv-v490",
+            description="SPARC-IV+ v490",
+            isa="sparc",
+            frequency_ghz=1.5,
+            width=2.0,
+            l1i=CacheConfig(_kb(64), associativity=4),
+            l1d=CacheConfig(_kb(64), associativity=4),
+            l2=CacheConfig(_mb(2), associativity=4, hit_latency=18),
+            l3=CacheConfig(_mb(32), associativity=4, hit_latency=80),
+            itlb=TlbConfig(entries=16, associativity=16, page_bytes=8192),
+            dtlb=TlbConfig(entries=16, associativity=16, page_bytes=8192),
+            l2tlb=TlbConfig(entries=512, associativity=2, page_bytes=8192),
+            unified_l2tlb=True,
+            predictor=PredictorSpec(
+                kind="bimodal", strength=0.70, table_entries=16384,
+                mispredict_penalty=10.0,
+            ),
+            latencies=MemoryLatencies(l2=18, l3=80, memory=320, page_walk=60),
+            walker=PageWalker(walk_cycles=60, cached_fraction=0.2, cached_cycles=20),
+            isa_path_factor=1.18,
+        )
+    )
+
+    # --- SPARC T4: small caches, high clock for a SPARC ------------------
+    add(
+        MachineConfig(
+            name="sparc-t4",
+            description="SPARC T4",
+            isa="sparc",
+            frequency_ghz=3.0,
+            width=2.0,
+            l1i=CacheConfig(_kb(16), associativity=4),
+            l1d=CacheConfig(_kb(16), associativity=4),
+            l2=CacheConfig(_kb(128), associativity=8, hit_latency=11),
+            l3=CacheConfig(_mb(4), associativity=16, hit_latency=45),
+            itlb=TlbConfig(entries=64, associativity=64, page_bytes=8192),
+            dtlb=TlbConfig(entries=128, associativity=128, page_bytes=8192),
+            l2tlb=None,
+            unified_l2tlb=False,
+            predictor=PredictorSpec(
+                kind="gshare", strength=0.85, table_entries=16384,
+                mispredict_penalty=12.0,
+            ),
+            latencies=MemoryLatencies(l2=11, l3=45, memory=260, page_walk=50),
+            walker=PageWalker(walk_cycles=50, cached_fraction=0.3, cached_cycles=16),
+            isa_path_factor=1.18,
+        )
+    )
+
+    # --- AMD Opteron 2435 (Istanbul): wide L1, 6 MB L3 --------------------
+    add(
+        MachineConfig(
+            name="opteron-2435",
+            description="AMD Opteron 2435",
+            isa="x86",
+            frequency_ghz=2.6,
+            width=3.0,
+            l1i=CacheConfig(_kb(64), associativity=2),
+            l1d=CacheConfig(_kb(64), associativity=2),
+            l2=CacheConfig(_kb(512), associativity=16, hit_latency=14),
+            l3=CacheConfig(_mb(6), associativity=48, hit_latency=55),
+            itlb=TlbConfig(entries=32, associativity=32),
+            dtlb=TlbConfig(entries=48, associativity=48),
+            l2tlb=TlbConfig(entries=512, associativity=4),
+            unified_l2tlb=False,
+            predictor=PredictorSpec(
+                kind="gshare", strength=0.82, table_entries=16384,
+                mispredict_penalty=12.0,
+            ),
+            latencies=MemoryLatencies(l2=14, l3=55, memory=250, page_walk=40),
+            walker=PageWalker(walk_cycles=40, cached_fraction=0.4, cached_cycles=12),
+        )
+    )
+
+    return machines
+
+
+_MACHINES = _build_machines()
+
+#: The seven machines of Table IV, in the table's order.
+PAPER_MACHINE_NAMES: Tuple[str, ...] = (
+    "skylake-i7-6700",
+    "xeon-e5-2650v4",
+    "xeon-e5-2430v2",
+    "xeon-e5405",
+    "sparc-iv-v490",
+    "sparc-t4",
+    "opteron-2435",
+)
+
+#: The three Intel machines with RAPL used for the power study (Fig 12):
+#: Skylake, Ivy Bridge and Broadwell micro-architectures.
+POWER_MACHINE_NAMES: Tuple[str, ...] = (
+    "skylake-i7-6700",
+    "xeon-e5-2430v2",
+    "xeon-e5-2650v4",
+)
+
+#: The four machines used for the sensitivity study (Table IX).
+SENSITIVITY_MACHINE_NAMES: Tuple[str, ...] = (
+    "skylake-i7-6700",
+    "xeon-e5405",
+    "sparc-t4",
+    "opteron-2435",
+)
+
+
+def get_machine(name: str) -> MachineConfig:
+    """Look a machine up by registry name."""
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise UnknownMachineError(name) from None
+
+
+def all_machines() -> List[MachineConfig]:
+    """Every defined machine, in Table IV order."""
+    return [_MACHINES[name] for name in PAPER_MACHINE_NAMES]
+
+
+def paper_machines() -> List[MachineConfig]:
+    """The seven machines used for the similarity analysis (Table IV)."""
+    return all_machines()
+
+
+def power_study_machines() -> List[MachineConfig]:
+    """The three Intel machines used for the power study (Fig 12)."""
+    return [_MACHINES[name] for name in POWER_MACHINE_NAMES]

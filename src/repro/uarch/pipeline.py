@@ -1,0 +1,148 @@
+"""Top-down CPI-stack model (Figure 1).
+
+Following the top-down methodology the paper cites (Yasin, ISPASS 2014),
+execution time per instruction is decomposed into: issue-width-limited
+base work, core dependency stalls, front-end stalls (instruction cache /
+ITLB), bad speculation (branch misprediction recovery), and back-end
+memory stalls attributed to the level that serviced the data (L2, L3,
+DRAM) plus data-TLB page walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CpiStack", "MemoryLatencies", "compute_cpi_stack"]
+
+
+@dataclass(frozen=True)
+class MemoryLatencies:
+    """Exposed latencies (cycles) of the levels behind L1."""
+
+    l2: float = 12.0
+    l3: float = 40.0
+    memory: float = 200.0
+    page_walk: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.l2 <= self.l3 <= self.memory:
+            raise ConfigurationError(
+                "latencies must satisfy 0 < l2 <= l3 <= memory, got "
+                f"{self.l2}/{self.l3}/{self.memory}"
+            )
+
+
+@dataclass(frozen=True)
+class CpiStack:
+    """Cycles-per-instruction broken down by microarchitectural activity."""
+
+    base: float
+    dependency: float
+    frontend: float
+    bad_speculation: float
+    backend_l2: float
+    backend_l3: float
+    backend_memory: float
+    backend_tlb: float
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    @property
+    def backend(self) -> float:
+        """All back-end memory stall cycles per instruction."""
+        return self.backend_l2 + self.backend_l3 + self.backend_memory + self.backend_tlb
+
+    @property
+    def frontend_bound(self) -> float:
+        """Paper's 'front-end bound' category: fetch + misprediction."""
+        return self.frontend + self.bad_speculation
+
+    @property
+    def other(self) -> float:
+        """Paper's 'other' category: dependency / resource stalls."""
+        return self.dependency
+
+    def as_dict(self) -> dict:
+        """All components as a name -> cycles-per-instruction mapping."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def fractions(self) -> dict:
+        """Each component as a fraction of total CPI."""
+        total = self.total
+        if total <= 0.0:
+            return {f.name: 0.0 for f in fields(self)}
+        return {f.name: getattr(self, f.name) / total for f in fields(self)}
+
+
+def compute_cpi_stack(
+    *,
+    width: float,
+    ilp: float,
+    mlp: float,
+    latencies: MemoryLatencies,
+    mispredict_penalty: float,
+    l1d_mpki: float,
+    l2d_mpki: float,
+    l3_mpki: float,
+    l1i_mpki: float,
+    l2i_mpki: float,
+    branch_mpki: float,
+    dtlb_walks_pmi: float = 0.0,
+    itlb_walks_pmi: float = 0.0,
+) -> CpiStack:
+    """Build the CPI stack from per-instruction event rates.
+
+    Parameters
+    ----------
+    width:
+        Machine issue width.
+    ilp:
+        Workload's exploitable instruction-level parallelism; issue is
+        limited to ``min(width, ilp)`` and the shortfall shows up as
+        dependency stalls (the paper's 'other' category).
+    mlp:
+        Memory-level parallelism; overlapping misses divide the exposed
+        back-end latency.
+    l1d_mpki / l2d_mpki / l3_mpki:
+        Data-side misses per kilo-instruction out of L1, L2 and the last
+        level (so ``l1d - l2d`` were serviced by L2, etc.).
+    l1i_mpki / l2i_mpki:
+        Instruction-side misses per kilo-instruction.
+    branch_mpki:
+        Branch mispredictions per kilo-instruction.
+    dtlb_walks_pmi / itlb_walks_pmi:
+        Page walks per million instructions.
+    """
+    if width < 1.0:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    if ilp < 0.5 or mlp < 1.0:
+        raise ConfigurationError("ilp must be >= 0.5 and mlp >= 1")
+    l1d_mpki = max(l1d_mpki, l2d_mpki)
+    l2d_mpki = max(l2d_mpki, l3_mpki)
+
+    base = 1.0 / width
+    dependency = max(0.0, 1.0 / min(width, ilp) - base)
+    frontend = (
+        l1i_mpki / 1000.0 * latencies.l2
+        + l2i_mpki / 1000.0 * latencies.l3
+        + itlb_walks_pmi / 1e6 * latencies.page_walk
+    )
+    bad_speculation = branch_mpki / 1000.0 * mispredict_penalty
+    backend_l2 = (l1d_mpki - l2d_mpki) / 1000.0 * latencies.l2 / mlp
+    backend_l3 = (l2d_mpki - l3_mpki) / 1000.0 * latencies.l3 / mlp
+    backend_memory = l3_mpki / 1000.0 * latencies.memory / mlp
+    backend_tlb = dtlb_walks_pmi / 1e6 * latencies.page_walk / mlp
+    return CpiStack(
+        base=base,
+        dependency=dependency,
+        frontend=frontend,
+        bad_speculation=bad_speculation,
+        backend_l2=backend_l2,
+        backend_l3=backend_l3,
+        backend_memory=backend_memory,
+        backend_tlb=backend_tlb,
+    )

@@ -1,0 +1,119 @@
+"""RAPL-style power model.
+
+The paper measures core, last-level-cache and DRAM power through RAPL
+counters on three Intel machines (Skylake, Ivy Bridge, Broadwell) and
+compares the CPU2017 and CPU2006 power spectra (Figure 12).  This model
+produces the same three power domains from activity rates:
+
+* core power grows with sustained IPC and with the FP/SIMD share of the
+  executed work (wide vector units burn the most energy per operation);
+* LLC power grows with the L2-miss traffic that reaches the LLC;
+* DRAM power grows with the memory bandwidth demanded by LLC misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerModel", "PowerSample"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """Average power in watts for the three RAPL domains."""
+
+    core_watts: float
+    llc_watts: float
+    dram_watts: float
+
+    @property
+    def package_watts(self) -> float:
+        return self.core_watts + self.llc_watts
+
+    @property
+    def total_watts(self) -> float:
+        return self.core_watts + self.llc_watts + self.dram_watts
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Activity-based power coefficients for one machine.
+
+    Energies are expressed per event (nanojoules); static power in watts.
+    """
+
+    core_static_watts: float = 8.0
+    energy_per_instruction_nj: float = 0.9
+    energy_per_fp_nj: float = 1.3
+    energy_per_simd_nj: float = 2.6
+    llc_static_watts: float = 1.5
+    energy_per_llc_access_nj: float = 4.0
+    dram_static_watts: float = 2.0
+    energy_per_dram_access_nj: float = 22.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "core_static_watts",
+            "energy_per_instruction_nj",
+            "llc_static_watts",
+            "dram_static_watts",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    def sample(
+        self,
+        *,
+        frequency_ghz: float,
+        cpi: float,
+        fp_fraction: float,
+        simd_fraction: float,
+        llc_accesses_per_ki: float,
+        dram_accesses_per_ki: float,
+    ) -> PowerSample:
+        """Average power while running a workload.
+
+        Parameters
+        ----------
+        frequency_ghz:
+            Core clock.
+        cpi:
+            Workload cycles per instruction on this machine; instructions
+            per second = frequency / CPI.
+        fp_fraction:
+            FP share of the instruction stream.
+        simd_fraction:
+            Absolute SIMD share of the instruction stream (vector FP or
+            integer SIMD); overlapping FP work is charged at SIMD cost.
+        llc_accesses_per_ki:
+            LLC accesses (L2 misses) per kilo-instruction.
+        dram_accesses_per_ki:
+            DRAM accesses (LLC misses) per kilo-instruction.
+        """
+        if cpi <= 0.0:
+            raise ConfigurationError(f"cpi must be > 0, got {cpi}")
+        if frequency_ghz <= 0.0:
+            raise ConfigurationError(
+                f"frequency_ghz must be > 0, got {frequency_ghz}"
+            )
+        # Instructions per second (Giga): frequency / CPI.
+        gips = frequency_ghz / cpi
+        inst_per_sec = gips * 1e9
+        scalar_fp = max(0.0, fp_fraction - simd_fraction)
+        simd_fp = simd_fraction
+        core_dynamic = inst_per_sec * (
+            self.energy_per_instruction_nj
+            + scalar_fp * self.energy_per_fp_nj
+            + simd_fp * self.energy_per_simd_nj
+        ) * 1e-9
+        llc_rate = inst_per_sec * llc_accesses_per_ki / 1000.0
+        dram_rate = inst_per_sec * dram_accesses_per_ki / 1000.0
+        return PowerSample(
+            core_watts=self.core_static_watts + core_dynamic,
+            llc_watts=self.llc_static_watts
+            + llc_rate * self.energy_per_llc_access_nj * 1e-9,
+            dram_watts=self.dram_static_watts
+            + dram_rate * self.energy_per_dram_access_nj * 1e-9,
+        )

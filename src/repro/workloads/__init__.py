@@ -1,0 +1,46 @@
+"""Workload models standing in for the proprietary SPEC binaries.
+
+The paper measures hardware performance counters of SPEC CPU2017 (plus
+CPU2006, CPU2000-EDA, database and graph workloads) on seven commercial
+machines.  SPEC binaries and reference inputs are proprietary, so this
+package models each benchmark as a :class:`~repro.workloads.spec.WorkloadSpec`:
+a statistical description of its instruction mix, data/instruction locality
+(lognormal reuse-distance mixtures at cache-line and page granularity),
+branch predictability, and pipeline-level parallelism, calibrated against
+the data published in the paper (Tables I and II, Section II-B).
+
+The models are consumed by :mod:`repro.perf`, which turns them into the
+per-machine counter vectors the paper's statistical analysis operates on.
+"""
+
+from repro.workloads.profiles import (
+    BranchClass,
+    BranchProfile,
+    InstructionMix,
+    ReuseComponent,
+    ReuseProfile,
+)
+from repro.workloads.spec import (
+    InputSetSpec,
+    Suite,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    register_workload,
+    workloads_in_suite,
+)
+
+__all__ = [
+    "BranchClass",
+    "BranchProfile",
+    "InputSetSpec",
+    "InstructionMix",
+    "ReuseComponent",
+    "ReuseProfile",
+    "Suite",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_workload",
+    "register_workload",
+    "workloads_in_suite",
+]

@@ -1,0 +1,92 @@
+"""CPI calibration of workload models against Table I.
+
+The paper publishes each benchmark's measured Skylake CPI (Table I).
+All counter-visible behaviour of our workload models (miss rates,
+mispredictions, TLB walks) is fixed by their locality and branch
+profiles, but two pipeline-level parameters are not observable through
+counters: the workload's exploitable instruction-level parallelism
+(``ilp``) and its memory-level parallelism (``mlp``).  This module fits
+those two parameters so that the modelled CPI on the Skylake reference
+machine reproduces the published CPI:
+
+1. Starting from the spec's nominal ``mlp``, compute the stall
+   components of the CPI stack (front-end, bad speculation, back-end
+   memory/TLB).  These do not depend on ``ilp``.
+2. The remaining budget, ``reference_cpi - stalls``, must be covered by
+   the issue-limited base component ``1 / min(width, ilp)``.  If the
+   stalls alone overshoot the budget, raise ``mlp`` (more overlapped
+   misses) until they fit, up to ``MAX_MLP``.
+3. Solve ``ilp = 1 / budget`` and clamp to the modelled range.
+
+Benchmarks without a ``reference_cpi`` (or whose budget cannot be met
+within the clamps) keep their nominal parameters; :func:`calibrate_spec`
+reports the residual error so the fidelity tests can track it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["calibrate_spec", "calibration_error", "REFERENCE_MACHINE"]
+
+#: Machine against which Table I CPIs were measured.
+REFERENCE_MACHINE = "skylake-i7-6700"
+
+#: Clamp ranges for the fitted parameters.  ``mlp`` is interpreted as the
+#: *effective* overlap of off-core latency — out-of-order memory-level
+#: parallelism plus hardware prefetching — so streaming workloads
+#: (bwaves, lbm, roms) legitimately reach large values.
+MIN_ILP, MAX_ILP = 0.5, 6.0
+MAX_MLP = 32.0
+
+
+def _stall_cpi(spec: WorkloadSpec, mlp: float) -> float:
+    """CPI stall components on the reference machine for a given MLP."""
+    from repro.perf.analytic import profile_analytic
+    from repro.uarch.machine import get_machine
+
+    machine = get_machine(REFERENCE_MACHINE)
+    probe = replace(spec, ilp=machine.width, mlp=mlp)
+    stack = profile_analytic(probe, machine).cpi_stack
+    return stack.total - stack.base - stack.dependency
+
+
+def calibrate_spec(spec: WorkloadSpec) -> WorkloadSpec:
+    """Fit ``ilp``/``mlp`` to the spec's published reference CPI.
+
+    Returns the spec unchanged when it has no ``reference_cpi``.
+    """
+    if spec.reference_cpi is None:
+        return spec
+    from repro.uarch.machine import get_machine
+
+    width = get_machine(REFERENCE_MACHINE).width
+    target = spec.reference_cpi
+
+    mlp = spec.mlp
+    stalls = _stall_cpi(spec, mlp)
+    # Grow MLP until the issue-base budget is feasible (or MLP caps out).
+    while target - stalls < 1.0 / width and mlp < MAX_MLP:
+        mlp = min(MAX_MLP, mlp * 1.25)
+        stalls = _stall_cpi(spec, mlp)
+
+    budget = max(target - stalls, 1.0 / width)
+    ilp = min(MAX_ILP, max(MIN_ILP, 1.0 / budget))
+    return replace(spec, ilp=ilp, mlp=mlp)
+
+
+def calibration_error(spec: WorkloadSpec) -> Optional[Tuple[float, float]]:
+    """(modelled CPI, relative error vs Table I) on the reference machine.
+
+    Returns ``None`` when the spec has no reference CPI.
+    """
+    if spec.reference_cpi is None:
+        return None
+    from repro.perf.analytic import profile_analytic
+    from repro.uarch.machine import get_machine
+
+    cpi = profile_analytic(spec, get_machine(REFERENCE_MACHINE)).cpi_stack.total
+    return cpi, abs(cpi - spec.reference_cpi) / spec.reference_cpi

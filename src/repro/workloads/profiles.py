@@ -1,0 +1,591 @@
+"""Statistical primitives describing workload behaviour.
+
+Three kinds of profile together describe how a benchmark exercises a
+microarchitecture:
+
+* :class:`ReuseProfile` — a mixture of lognormal reuse-distance components
+  plus a "cold" mass, describing temporal locality of a reference stream
+  (data or instruction, at cache-line or page granularity).
+* :class:`BranchProfile` — a mixture of branch-bias classes describing how
+  predictable the dynamic branch stream is.
+* :class:`InstructionMix` — the fraction of loads, stores, branches and
+  compute operations in the dynamic instruction stream.
+
+These are microarchitecture-*independent* descriptions.  The simulators in
+:mod:`repro.uarch` and the analytic engine in :mod:`repro.perf.analytic`
+combine them with machine configurations to produce the
+microarchitecture-*dependent* counter values the paper measures with
+``perf``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ReuseComponent",
+    "ReuseProfile",
+    "BranchClass",
+    "BranchProfile",
+    "InstructionMix",
+]
+
+# Number of quadrature points used when integrating hit probability over a
+# lognormal reuse-distance component.  512 points keeps the integration
+# error well below the modelling error.
+_QUADRATURE_POINTS = 512
+
+# Quadrature spans this many standard deviations of the log-distance.
+_QUADRATURE_SPAN = 6.0
+
+
+@dataclass(frozen=True)
+class ReuseComponent:
+    """One lognormal component of a reuse-distance mixture.
+
+    Parameters
+    ----------
+    weight:
+        Relative weight of the component within its profile.  Weights are
+        normalised by :class:`ReuseProfile`, so only ratios matter.
+    median:
+        Median reuse distance in *blocks* (cache lines for line-granularity
+        profiles, pages for page-granularity profiles).  A reference with
+        reuse distance ``d`` hits in a fully-associative LRU cache of
+        capacity ``C`` blocks iff ``d < C``.
+    sigma:
+        Standard deviation of the natural log of the distance.  Larger
+        values spread the working set over a wider range of cache sizes.
+    """
+
+    weight: float
+    median: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0.0:
+            raise ConfigurationError(f"component weight must be >= 0, got {self.weight}")
+        if self.median <= 0.0:
+            raise ConfigurationError(f"component median must be > 0, got {self.median}")
+        if self.sigma <= 0.0:
+            raise ConfigurationError(f"component sigma must be > 0, got {self.sigma}")
+
+    @property
+    def mu(self) -> float:
+        """Mean of the log-distance (``ln median``)."""
+        return math.log(self.median)
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """A reuse-distance distribution: lognormal mixture plus cold mass.
+
+    ``cold_fraction`` is the probability that a reference can never hit
+    (compulsory misses and streaming data whose reuse distance exceeds any
+    realistic cache).  The remaining mass is distributed over the mixture
+    components in proportion to their weights.
+    """
+
+    components: Tuple[ReuseComponent, ...]
+    cold_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigurationError("a reuse profile needs at least one component")
+        if not 0.0 <= self.cold_fraction < 1.0:
+            raise ConfigurationError(
+                f"cold_fraction must be in [0, 1), got {self.cold_fraction}"
+            )
+        total = sum(component.weight for component in self.components)
+        if total <= 0.0:
+            raise ConfigurationError("component weights must sum to a positive value")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls,
+        components: Iterable[Tuple[float, float, float]],
+        cold_fraction: float = 0.0,
+    ) -> "ReuseProfile":
+        """Build a profile from ``(weight, median, sigma)`` tuples."""
+        return cls(
+            components=tuple(ReuseComponent(w, m, s) for w, m, s in components),
+            cold_fraction=cold_fraction,
+        )
+
+    def scaled(self, distance_factor: float) -> "ReuseProfile":
+        """Return a profile with all reuse distances scaled by a factor.
+
+        Used to derive e.g. the larger-footprint "speed" variant of a
+        benchmark from its "rate" variant, or a page-granularity profile
+        from a line-granularity one.
+        """
+        if distance_factor <= 0.0:
+            raise ConfigurationError(
+                f"distance_factor must be > 0, got {distance_factor}"
+            )
+        return ReuseProfile(
+            components=tuple(
+                replace(c, median=c.median * distance_factor) for c in self.components
+            ),
+            cold_fraction=self.cold_fraction,
+        )
+
+    def with_cold_fraction(self, cold_fraction: float) -> "ReuseProfile":
+        """Return a copy with a different cold mass."""
+        return ReuseProfile(components=self.components, cold_fraction=cold_fraction)
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def normalized_weights(self) -> np.ndarray:
+        """Component probabilities (excluding the cold mass)."""
+        weights = np.array([c.weight for c in self.components], dtype=float)
+        return weights / weights.sum() * (1.0 - self.cold_fraction)
+
+    def mean_log_distance(self) -> float:
+        """Weighted mean of the log reuse distance of the warm mass."""
+        weights = self.normalized_weights
+        warm = weights.sum()
+        if warm == 0.0:
+            return 0.0
+        mus = np.array([c.mu for c in self.components])
+        return float((weights * mus).sum() / warm)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` reuse distances.  Cold references are ``np.inf``.
+
+        Distances are continuous; consumers round or compare as needed.
+        """
+        if n < 0:
+            raise ConfigurationError(f"sample size must be >= 0, got {n}")
+        weights = self.normalized_weights
+        probabilities = np.append(weights, self.cold_fraction)
+        probabilities = probabilities / probabilities.sum()
+        choices = rng.choice(len(probabilities), size=n, p=probabilities)
+        distances = np.empty(n, dtype=float)
+        for index, component in enumerate(self.components):
+            mask = choices == index
+            count = int(mask.sum())
+            if count:
+                distances[mask] = rng.lognormal(component.mu, component.sigma, count)
+        distances[choices == len(self.components)] = np.inf
+        return distances
+
+    # -- cache behaviour -------------------------------------------------------
+
+    def miss_ratio(self, capacity_blocks: float, associativity: int = 0) -> float:
+        """Probability that a reference misses in an LRU cache.
+
+        Parameters
+        ----------
+        capacity_blocks:
+            Total cache capacity in blocks (lines or pages, matching the
+            granularity of this profile).
+        associativity:
+            Number of ways.  ``0`` (the default) models a fully-associative
+            cache: a reference hits iff its reuse distance is below the
+            capacity.  For a set-associative cache the classic binomial
+            set-occupancy model is used: with ``S = capacity / assoc`` sets,
+            a reference with reuse distance ``d`` hits iff fewer than
+            ``assoc`` of the ``d`` intervening distinct blocks landed in
+            its set, i.e. ``P(hit | d) = P(Binomial(d, 1/S) < assoc)``.
+        """
+        if capacity_blocks <= 0.0:
+            return 1.0
+        warm_hit = 0.0
+        weights = self.normalized_weights
+        for weight, component in zip(weights, self.components):
+            warm_hit += weight * _component_hit_probability(
+                component, capacity_blocks, associativity
+            )
+        return float(min(1.0, max(0.0, 1.0 - warm_hit)))
+
+    def hit_probability_at(
+        self, distances: np.ndarray, capacity_blocks: float, associativity: int = 0
+    ) -> np.ndarray:
+        """Vectorised ``P(hit | reuse distance)`` for sampled distances."""
+        return _hit_probability(
+            np.asarray(distances, dtype=float), capacity_blocks, associativity
+        )
+
+
+def _component_hit_probability(
+    component: ReuseComponent, capacity_blocks: float, associativity: int
+) -> float:
+    """Integrate ``P(hit | d)`` over one lognormal component."""
+    if associativity <= 0:
+        # Fully associative LRU: hit iff d < capacity.
+        z = (math.log(capacity_blocks) - component.mu) / component.sigma
+        return _normal_cdf(z)
+    low = component.mu - _QUADRATURE_SPAN * component.sigma
+    high = component.mu + _QUADRATURE_SPAN * component.sigma
+    log_d = np.linspace(low, high, _QUADRATURE_POINTS)
+    density = np.exp(-0.5 * ((log_d - component.mu) / component.sigma) ** 2)
+    density /= density.sum()
+    hit = _hit_probability(np.exp(log_d), capacity_blocks, associativity)
+    return float((density * hit).sum())
+
+
+def _hit_probability(
+    distances: np.ndarray, capacity_blocks: float, associativity: int
+) -> np.ndarray:
+    """``P(hit | d)`` under the binomial set-occupancy model (vectorised)."""
+    if capacity_blocks <= 0.0:
+        return np.zeros_like(distances)
+    finite = np.isfinite(distances)
+    result = np.zeros_like(distances, dtype=float)
+    if associativity <= 0:
+        result[finite] = (distances[finite] < capacity_blocks).astype(float)
+        return result
+    sets = max(1.0, capacity_blocks / associativity)
+    d = distances[finite]
+    if sets <= 1.0:
+        result[finite] = (d < associativity).astype(float)
+        return result
+    # P(hit | d) = P(Binomial(d, 1/sets) <= assoc - 1), with a normal
+    # approximation for large d to keep the computation vectorised and fast.
+    p = 1.0 / sets
+    mean = d * p
+    var = np.maximum(d * p * (1.0 - p), 1e-12)
+    z = (associativity - 0.5 - mean) / np.sqrt(var)
+    approx = _normal_cdf_array(z)
+    # For tiny d the exact answer is 1 when d < assoc.
+    approx[d < associativity] = 1.0
+    result[finite] = approx
+    return result
+
+
+def _normal_cdf(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def _normal_cdf_array(z: np.ndarray) -> np.ndarray:
+    from scipy.special import erf
+
+    return 0.5 * (1.0 + erf(z / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class BranchClass:
+    """A class of dynamic branches sharing predictability behaviour.
+
+    Parameters
+    ----------
+    weight:
+        Relative weight within the profile.
+    bias:
+        Probability of the branch's majority direction, in ``[0.5, 1]``.
+        A static majority predictor mispredicts at rate ``1 - bias``.
+    pattern:
+        Fraction of the minority-direction occurrences that follow a
+        learnable pattern.  A history-based predictor of strength ``s``
+        removes ``pattern * s`` of the static mispredictions, so its
+        misprediction rate for this class is
+        ``(1 - bias) * (1 - pattern * s)``.
+    """
+
+    weight: float
+    bias: float
+    pattern: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0.0:
+            raise ConfigurationError(f"class weight must be >= 0, got {self.weight}")
+        if not 0.5 <= self.bias <= 1.0:
+            raise ConfigurationError(f"bias must be in [0.5, 1], got {self.bias}")
+        if not 0.0 <= self.pattern <= 1.0:
+            raise ConfigurationError(f"pattern must be in [0, 1], got {self.pattern}")
+
+    def mispredict_rate(self, strength: float) -> float:
+        """Misprediction rate under a predictor of the given strength."""
+        if not 0.0 <= strength <= 1.0:
+            raise ConfigurationError(f"strength must be in [0, 1], got {strength}")
+        return (1.0 - self.bias) * (1.0 - self.pattern * strength)
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """The dynamic branch behaviour of a workload.
+
+    Parameters
+    ----------
+    taken_fraction:
+        Fraction of dynamic branches that are taken.
+    classes:
+        Mixture of :class:`BranchClass` describing predictability.
+    static_branches:
+        Approximate number of static branch sites; drives aliasing in
+        small predictor tables.
+    """
+
+    taken_fraction: float
+    classes: Tuple[BranchClass, ...]
+    static_branches: int = 1024
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.taken_fraction <= 1.0:
+            raise ConfigurationError(
+                f"taken_fraction must be in [0, 1], got {self.taken_fraction}"
+            )
+        if not self.classes:
+            raise ConfigurationError("a branch profile needs at least one class")
+        if self.static_branches <= 0:
+            raise ConfigurationError(
+                f"static_branches must be > 0, got {self.static_branches}"
+            )
+        total = sum(c.weight for c in self.classes)
+        if total <= 0.0:
+            raise ConfigurationError("class weights must sum to a positive value")
+
+    @classmethod
+    def from_tuples(
+        cls,
+        taken_fraction: float,
+        classes: Iterable[Tuple[float, float, float]],
+        static_branches: int = 1024,
+    ) -> "BranchProfile":
+        """Build a profile from ``(weight, bias, pattern)`` tuples."""
+        return cls(
+            taken_fraction=taken_fraction,
+            classes=tuple(BranchClass(w, b, p) for w, b, p in classes),
+            static_branches=static_branches,
+        )
+
+    @property
+    def normalized_weights(self) -> np.ndarray:
+        weights = np.array([c.weight for c in self.classes], dtype=float)
+        return weights / weights.sum()
+
+    def static_mispredict_rate(self) -> float:
+        """Misprediction rate of an ideal static (majority) predictor."""
+        return self.mispredict_rate(strength=0.0, table_entries=0)
+
+    def mispredict_rate(self, strength: float, table_entries: int = 0) -> float:
+        """Misprediction rate under a predictor.
+
+        Parameters
+        ----------
+        strength:
+            Pattern-learning strength of the predictor in ``[0, 1]``
+            (0 = static majority predictor, 1 = ideal history predictor).
+        table_entries:
+            Size of the predictor's counter table.  When positive,
+            destructive aliasing between the workload's static branches
+            and the table adds mispredictions: colliding branches fall
+            back toward a 50% outcome on a fraction of references.
+        """
+        weights = self.normalized_weights
+        rate = float(
+            sum(
+                weight * cls.mispredict_rate(strength)
+                for weight, cls in zip(weights, self.classes)
+            )
+        )
+        if table_entries > 0:
+            # Probability a branch site shares its entry with another site
+            # (birthday-style occupancy); colliding references behave as if
+            # half-biased for the colliding fraction.
+            load = self.static_branches / table_entries
+            collision = 1.0 - math.exp(-load)
+            aliased_penalty = 0.10 * collision
+            rate = rate + aliased_penalty * (1.0 - rate)
+        return min(0.5, rate)
+
+    def sample_outcomes(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` (branch site id, taken) pairs for trace synthesis.
+
+        Sites are assigned to predictability classes proportionally to
+        the class weights.  Each site emits its minority direction at
+        rate ``1 - bias``; the class's ``pattern`` fraction of minority
+        events is emitted in *runs* (learnable structure that history
+        predictors exploit), while the remainder occurs i.i.d.  Majority
+        directions are distributed so the aggregate taken fraction
+        approximates the profile's.
+        """
+        weights = self.normalized_weights
+        site_classes = rng.choice(
+            len(self.classes), size=self.static_branches, p=weights
+        )
+        biases = np.array([c.bias for c in self.classes])
+        patterns = np.array([c.pattern for c in self.classes])
+        site_bias = biases[site_classes]
+        site_pattern = patterns[site_classes]
+        site_majority_taken = rng.random(self.static_branches) < _majority_taken_share(
+            float(site_bias.mean()), self.taken_fraction
+        )
+        sites = rng.integers(0, self.static_branches, size=n)
+        minority = np.zeros(n, dtype=bool)
+        # Per-site run-structured minority placement: process each site's
+        # occurrence positions in order and emit minority events in runs
+        # of length 1 / (1 - pattern).
+        order = np.argsort(sites, kind="stable")
+        sorted_sites = sites[order]
+        boundaries = np.nonzero(np.diff(sorted_sites))[0] + 1
+        groups = np.split(order, boundaries)
+        for group in groups:
+            if group.size == 0:
+                continue
+            site = int(sites[group[0]])
+            rate = 1.0 - float(site_bias[site])
+            if rate <= 0.0:
+                continue
+            run_length = max(1, int(round(1.0 / max(1e-9, 1.0 - site_pattern[site]))))
+            k = group.size
+            run_starts = rng.random(k) < rate / run_length
+            flags = np.zeros(k, dtype=bool)
+            start_positions = np.nonzero(run_starts)[0]
+            for start in start_positions:
+                flags[start : start + run_length] = True
+            minority[group] = flags
+        toward_majority = ~minority
+        taken = np.where(
+            site_majority_taken[sites], toward_majority, ~toward_majority
+        )
+        return sites, taken
+
+
+def _majority_taken_share(mean_bias: float, taken_fraction: float) -> float:
+    """Share of sites whose majority direction is 'taken'.
+
+    Solves ``share * b + (1 - share) * (1 - b) = taken_fraction`` for the
+    share of taken-majority sites given the mean bias ``b``.
+    """
+    b = min(max(mean_bias, 0.5 + 1e-9), 1.0 - 1e-9)
+    share = (taken_fraction - (1.0 - b)) / (2.0 * b - 1.0)
+    return min(1.0, max(0.0, share))
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Dynamic instruction mix of a workload.
+
+    ``load + store + branch + int_alu + fp + other`` must sum to 1.
+    ``simd`` is the fraction of *all* dynamic instructions executed as
+    SIMD operations (vectorized FP or integer SIMD, e.g. x264's integer
+    vector kernels); ``kernel`` is the fraction of execution spent in
+    kernel mode.
+    """
+
+    load: float
+    store: float
+    branch: float
+    int_alu: float
+    fp: float
+    other: float = 0.0
+    simd: float = 0.0
+    kernel: float = 0.01
+
+    def __post_init__(self) -> None:
+        fields = {
+            "load": self.load,
+            "store": self.store,
+            "branch": self.branch,
+            "int_alu": self.int_alu,
+            "fp": self.fp,
+            "other": self.other,
+        }
+        for name, value in fields.items():
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        total = sum(fields.values())
+        if not math.isclose(total, 1.0, abs_tol=1e-6):
+            raise ConfigurationError(
+                f"instruction mix fractions must sum to 1, got {total:.6f}"
+            )
+        if not 0.0 <= self.simd <= 1.0:
+            raise ConfigurationError(f"simd must be in [0, 1], got {self.simd}")
+        if not 0.0 <= self.kernel <= 1.0:
+            raise ConfigurationError(f"kernel must be in [0, 1], got {self.kernel}")
+
+    @classmethod
+    def from_percentages(
+        cls,
+        load: float,
+        store: float,
+        branch: float,
+        fp: float = 0.0,
+        simd: float = 0.0,
+        kernel: float = 1.0,
+    ) -> "InstructionMix":
+        """Build a mix from Table I style percentages.
+
+        ``load``, ``store``, ``branch`` and ``fp`` are percentages of the
+        dynamic instruction stream; the remainder is assigned to integer
+        ALU operations.  ``simd`` is the absolute SIMD fraction (0-1) and
+        ``kernel`` is the kernel-mode percentage.
+        """
+        load_f, store_f, branch_f, fp_f = (
+            load / 100.0,
+            store / 100.0,
+            branch / 100.0,
+            fp / 100.0,
+        )
+        remainder = 1.0 - (load_f + store_f + branch_f + fp_f)
+        if remainder < 0.0:
+            raise ConfigurationError(
+                "load + store + branch + fp percentages exceed 100"
+            )
+        return cls(
+            load=load_f,
+            store=store_f,
+            branch=branch_f,
+            int_alu=remainder,
+            fp=fp_f,
+            simd=simd,
+            kernel=kernel / 100.0,
+        )
+
+    @property
+    def memory(self) -> float:
+        """Fraction of instructions that access data memory."""
+        return self.load + self.store
+
+    @property
+    def compute(self) -> float:
+        """Fraction of instructions that are ALU/FP compute."""
+        return self.int_alu + self.fp
+
+    def as_dict(self) -> dict:
+        """All fractions as a plain dictionary (for reporting)."""
+        return {
+            "load": self.load,
+            "store": self.store,
+            "branch": self.branch,
+            "int_alu": self.int_alu,
+            "fp": self.fp,
+            "other": self.other,
+            "simd": self.simd,
+            "kernel": self.kernel,
+        }
+
+
+def blend_profiles(
+    first: ReuseProfile, second: ReuseProfile, second_share: float
+) -> ReuseProfile:
+    """Mix two reuse profiles into one (used for input-set variants)."""
+    if not 0.0 <= second_share <= 1.0:
+        raise ConfigurationError(f"second_share must be in [0, 1], got {second_share}")
+    first_scale = 1.0 - second_share
+    components = tuple(
+        replace(c, weight=c.weight * first_scale / _total_weight(first.components))
+        for c in first.components
+    ) + tuple(
+        replace(c, weight=c.weight * second_share / _total_weight(second.components))
+        for c in second.components
+    )
+    cold = first.cold_fraction * first_scale + second.cold_fraction * second_share
+    return ReuseProfile(components=components, cold_fraction=cold)
+
+
+def _total_weight(components: Sequence[ReuseComponent]) -> float:
+    return sum(c.weight for c in components)

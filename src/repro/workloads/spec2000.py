@@ -1,0 +1,39 @@
+"""Models of the CPU2000 EDA benchmarks used in the paper's case study.
+
+Section V-D asks whether CPU2017 still covers the Electronic Design
+Automation domain (dropped after CPU2000).  The paper uses 175.vpr
+(FPGA place & route) and 300.twolf (standard-cell place & route) and
+finds them close to the CPU2017 mcf benchmarks: EDA codes chase pointers
+through large irregular netlist graphs with data-dependent control flow,
+the same bottleneck signature as combinatorial optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads.spec import Suite, WorkloadSpec
+from repro.workloads.spec2017 import _br, _data, _inst, _spec
+
+__all__ = ["SPECS", "EDA_NAMES"]
+
+SPECS: Tuple[WorkloadSpec, ...] = (
+    _spec(
+        "175.vpr", Suite.SPEC2000_EDA, "EDA", "C",
+        110, loads=20.0, stores=7.0, branches=13.0, cpi=1.10,
+        data=_data(l2=0.080, l3=0.032, mem=0.013, cold=0.005, sigma=1.3),
+        inst=_inst(hot_lines=70.0),
+        br=_br(taken=0.74, med=0.22, hard=0.14, sites=900),
+        page=2.8, ipage=46.0, ilp=2.2, mlp=2.2, footprint=50,
+    ),
+    _spec(
+        "300.twolf", Suite.SPEC2000_EDA, "EDA", "C",
+        100, loads=22.0, stores=6.0, branches=14.0, cpi=1.15,
+        data=_data(l2=0.078, l3=0.030, mem=0.012, cold=0.004, sigma=1.3),
+        inst=_inst(hot_lines=90.0),
+        br=_br(taken=0.73, med=0.23, hard=0.13, sites=1100),
+        page=3.0, ipage=44.0, ilp=2.1, mlp=2.0, footprint=4,
+    ),
+)
+
+EDA_NAMES = tuple(spec.name for spec in SPECS)

@@ -1,0 +1,317 @@
+"""Models of the SPEC CPU2006 benchmarks (for the suite-balance study).
+
+Section V of the paper compares CPU2017 against CPU2006 in the PCA
+workload space (Fig 11), in power space (Fig 12), and checks which
+*removed* CPU2006 benchmarks are no longer covered — finding exactly
+three: 429.mcf, 445.gobmk and 473.astar.
+
+The models below encode the published CPU2006 behaviour that drives those
+findings:
+
+* CPU2006 INT averages ~20% branches (vs <=15% in CPU2017) [Phansalkar
+  2007, cited by the paper].
+* 429.mcf stresses the data caches *more* than the CPU2017 mcf versions
+  (explicitly stated in Section V-A).
+* 445.gobmk combines a high branch fraction with the hardest-to-predict
+  branches; 473.astar combines pointer chasing with hard branches — the
+  two combinations CPU2017 does not reach.
+* CPU2006 is less compute/SIMD-intensive, giving it a narrower core-power
+  spectrum (Fig 12).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads.spec import InputSetSpec, Suite, WorkloadSpec
+from repro.workloads.spec2017 import _br, _br_loops, _data, _inst, _spec
+
+__all__ = ["SPECS", "CPU2006_NAMES", "REMOVED_IN_2017", "RETAINED_IN_2017"]
+
+_INT = Suite.SPEC2006_INT
+_FP = Suite.SPEC2006_FP
+
+_SPECS_INT = (
+    # Retained lineage: close to 500.perlbench_r but with the 2006-era
+    # higher branch fraction and smaller footprint.
+    _spec(
+        "400.perlbench", _INT, "Compiler/Interpreter", "C",
+        1200, loads=24.0, stores=12.0, branches=21.0, cpi=0.55, fp=0.8, simd=0.0004,
+        data=_data(l2=0.025, l3=0.003, mem=0.001, cold=0.001),
+        inst=_inst(hot_lines=550.0, big_share=0.22, big_lines=4200.0),
+        br=_br(taken=0.61, med=0.17, hard=0.04, sites=8000),
+        page=20.0, ipage=24.0, ilp=3.0, mlp=2.0, footprint=100,
+    ),
+    _spec(
+        "401.bzip2", _INT, "Compression", "C",
+        1400, loads=21.0, stores=8.0, branches=16.0, cpi=0.72, fp=0.2, simd=0.0001,
+        data=_data(l2=0.055, l3=0.009, mem=0.002, cold=0.002, sigma=1.1),
+        inst=_inst(hot_lines=90.0),
+        br=_br(taken=0.62, med=0.22, hard=0.09, sites=900),
+        page=8.0, ipage=44.0, ilp=2.5, mlp=1.9, footprint=200,
+    ),
+    _spec(
+        "403.gcc", _INT, "Compiler/Interpreter", "C",
+        1100, loads=26.0, stores=13.0, branches=22.0, cpi=0.70, fp=1.0, simd=0.0005,
+        data=_data(l2=0.040, l3=0.010, mem=0.003, cold=0.002),
+        inst=_inst(hot_lines=850.0, big_share=0.32, big_lines=8000.0),
+        br=_br(taken=0.73, med=0.17, hard=0.05, sites=11000),
+        page=18.0, ipage=20.0, ilp=2.8, mlp=2.1, footprint=900,
+        # The paper contrasts CPU2017 gcc's homogeneous inputs with the
+        # pronounced input-set variation of the CPU2006 gcc.
+        inputs=(
+            InputSetSpec(1, data_scale=0.45, branch_shift=-0.010),
+            InputSetSpec(2, weight=1.2),
+            InputSetSpec(3, data_scale=2.4, mix_shift=0.030, cold_shift=0.004),
+            InputSetSpec(4, data_scale=1.6, branch_shift=0.012),
+            InputSetSpec(5, data_scale=3.2, mix_shift=0.045, cold_shift=0.007),
+        ),
+    ),
+    # NOT covered by CPU2017: the most cache-hostile benchmark ever shipped
+    # by SPEC — exerts every cache level beyond 505/605.mcf.
+    _spec(
+        "429.mcf", _INT, "Combinatorial optimization", "C",
+        380, loads=31.0, stores=9.0, branches=21.0, cpi=1.90, fp=0.2, simd=0.0,
+        data=_data(l2=0.090, l3=0.040, mem=0.016, cold=0.007, sigma=1.38),
+        inst=_inst(hot_lines=40.0),
+        br=_br(taken=0.80, med=0.22, hard=0.16, sites=600),
+        page=2.2, ipage=50.0, ilp=1.8, mlp=2.2, footprint=1700,
+    ),
+    # NOT covered by CPU2017: high branch fraction *and* the hardest
+    # branches (Go playing with dense board evaluations).
+    _spec(
+        "445.gobmk", _INT, "Artificial intelligence", "C",
+        490, loads=22.0, stores=11.0, branches=24.0, cpi=0.88, fp=0.5, simd=0.0001,
+        data=_data(l2=0.030, l3=0.006, mem=0.001, cold=0.001),
+        inst=_inst(hot_lines=420.0, big_share=0.18, big_lines=3600.0),
+        br=_br(taken=0.55, med=0.25, hard=0.33, sites=6000),
+        page=18.0, ipage=30.0, ilp=2.2, mlp=1.7, footprint=30,
+    ),
+    _spec(
+        "456.hmmer", _INT, "Bioinformatics", "C",
+        900, loads=26.0, stores=11.0, branches=10.0, cpi=0.50, fp=1.5, simd=0.012,
+        data=_data(l2=0.022, l3=0.004, mem=0.001, cold=0.002),
+        inst=_inst(hot_lines=60.0),
+        br=_br(taken=0.70, med=0.08, hard=0.01, sites=500),
+        page=30.0, ipage=46.0, ilp=3.3, mlp=2.0, footprint=60,
+    ),
+    _spec(
+        "458.sjeng", _INT, "Artificial intelligence", "C",
+        700, loads=20.0, stores=9.0, branches=19.0, cpi=0.75, fp=0.2, simd=0.0,
+        data=_data(l2=0.035, l3=0.010, mem=0.002, cold=0.001),
+        inst=_inst(hot_lines=170.0),
+        br=_br(taken=0.58, med=0.21, hard=0.09, sites=2200),
+        page=14.0, ipage=36.0, ilp=2.6, mlp=1.9, footprint=170,
+    ),
+    _spec(
+        "462.libquantum", _INT, "Physics/Quantum computing", "C",
+        1100, loads=23.0, stores=7.0, branches=20.0, cpi=0.80, fp=1.5, simd=0.0015,
+        data=_data(l2=0.045, l3=0.012, mem=0.006, cold=0.005, sigma=0.9),
+        inst=_inst(hot_lines=30.0),
+        br=_br_loops(taken=0.78, bias=0.99, pattern=0.95, sites=200),
+        page=55.0, ipage=52.0, ilp=3.0, mlp=3.8, footprint=100,
+    ),
+    _spec(
+        "464.h264ref", _INT, "Compression", "C",
+        1000, loads=30.0, stores=11.0, branches=8.0, cpi=0.48,
+        data=_data(l2=0.028, l3=0.006, mem=0.0015, cold=0.002),
+        inst=_inst(hot_lines=200.0),
+        br=_br(taken=0.60, med=0.12, hard=0.03, sites=1500),
+        fp=2.0, simd=0.006, page=36.0, ipage=40.0, ilp=3.4, mlp=2.4, footprint=70,
+    ),
+    _spec(
+        "471.omnetpp", _INT, "Discrete event simulation", "C++",
+        500, loads=26.0, stores=14.0, branches=21.0, cpi=1.30, fp=1.2, simd=0.0006,
+        data=_data(l2=0.052, l3=0.016, mem=0.005, cold=0.003, sigma=1.15),
+        inst=_inst(hot_lines=360.0, big_share=0.12, big_lines=2800.0),
+        br=_br(taken=0.69, med=0.18, hard=0.06, sites=3800),
+        page=5.0, ipage=28.0, ilp=1.9, mlp=1.6, footprint=170,
+    ),
+    # NOT covered by CPU2017: A* path-finding — pointer chasing through
+    # irregular graphs combined with data-dependent branching.
+    _spec(
+        "473.astar", _INT, "Path-finding", "C++",
+        450, loads=27.0, stores=10.0, branches=17.0, cpi=1.25, fp=0.8, simd=0.0002,
+        data=_data(l2=0.075, l3=0.032, mem=0.010, cold=0.005, sigma=1.35),
+        inst=_inst(hot_lines=60.0),
+        br=_br(taken=0.67, med=0.24, hard=0.22, sites=800),
+        page=3.0, ipage=46.0, ilp=2.0, mlp=1.8, footprint=350,
+    ),
+    _spec(
+        "483.xalancbmk", _INT, "Document processing", "C++",
+        600, loads=32.0, stores=9.0, branches=26.0, cpi=0.95, fp=0.6, simd=0.0003,
+        data=_data(l2=0.050, l3=0.020, mem=0.005, cold=0.002),
+        inst=_inst(hot_lines=400.0, big_share=0.14, big_lines=3200.0),
+        br=_br(taken=0.71, med=0.08, hard=0.015, sites=5500),
+        page=10.0, ipage=26.0, ilp=2.3, mlp=2.1, footprint=430,
+    ),
+)
+
+_SPECS_FP = (
+    _spec(
+        "410.bwaves", _FP, "Fluid dynamics", "Fortran",
+        1600, loads=35.0, stores=8.0, branches=11.0, cpi=0.65,
+        data=_data(l2=0.050, l3=0.007, mem=0.002, cold=0.003, sigma=1.1),
+        inst=_inst(hot_lines=80.0),
+        br=_br_loops(taken=0.80, bias=0.94, pattern=0.9),
+        fp=35.0, simd=0.0875, page=7.0, ipage=48.0, ilp=3.0, mlp=3.0, footprint=870,
+    ),
+    _spec(
+        "416.gamess", _FP, "Quantum chemistry", "Fortran",
+        1300, loads=26.0, stores=8.0, branches=9.0, cpi=0.55,
+        data=_data(l2=0.020, l3=0.004, mem=0.001, cold=0.001),
+        inst=_inst(hot_lines=700.0, big_share=0.30, big_lines=7000.0),
+        br=_br_loops(taken=0.70, bias=0.96, pattern=0.8, sites=7000),
+        fp=40.0, simd=0.08, page=22.0, ipage=22.0, ilp=3.0, mlp=2.0, footprint=20,
+    ),
+    _spec(
+        "433.milc", _FP, "Physics", "C",
+        800, loads=30.0, stores=12.0, branches=3.0, cpi=1.10,
+        data=_data(l2=0.075, l3=0.012, mem=0.005, cold=0.004, sigma=0.9),
+        inst=_inst(hot_lines=60.0),
+        br=_br_loops(taken=0.85, bias=0.985, pattern=0.9, sites=300),
+        fp=40.0, simd=0.1, page=40.0, ipage=48.0, ilp=2.4, mlp=2.8, footprint=680,
+    ),
+    _spec(
+        "434.zeusmp", _FP, "Physics", "Fortran",
+        900, loads=29.0, stores=10.0, branches=5.0, cpi=0.78,
+        data=_data(l2=0.065, l3=0.009, mem=0.003, cold=0.003),
+        inst=_inst(hot_lines=150.0),
+        br=_br_loops(taken=0.80, bias=0.97, pattern=0.85),
+        fp=38.0, simd=0.076, page=30.0, ipage=44.0, ilp=2.7, mlp=2.5, footprint=510,
+    ),
+    _spec(
+        "435.gromacs", _FP, "Molecular dynamics", "C/Fortran",
+        1000, loads=29.0, stores=11.0, branches=4.0, cpi=0.62,
+        data=_data(l2=0.025, l3=0.005, mem=0.001, cold=0.001),
+        inst=_inst(hot_lines=140.0),
+        br=_br_loops(taken=0.70, bias=0.97, pattern=0.85),
+        fp=42.0, simd=0.126, page=24.0, ipage=42.0, ilp=2.9, mlp=2.2, footprint=30,
+    ),
+    _spec(
+        "436.cactusADM", _FP, "Physics", "C/Fortran",
+        1300, loads=38.0, stores=9.0, branches=1.5, cpi=0.85,
+        data=_data(l2=0.115, l3=0.008, mem=0.003, cold=0.003, sigma=0.8),
+        inst=_inst(hot_lines=300.0, big_share=0.10, big_lines=2600.0),
+        br=_br_loops(taken=0.78, bias=0.975, pattern=0.8),
+        fp=34.0, simd=0.068, page=3.0, ipage=34.0, ilp=2.7, mlp=2.8, footprint=650,
+    ),
+    _spec(
+        "437.leslie3d", _FP, "Fluid dynamics", "Fortran",
+        1100, loads=33.0, stores=10.0, branches=4.0, cpi=0.80,
+        data=_data(l2=0.090, l3=0.010, mem=0.003, cold=0.003, sigma=0.9),
+        inst=_inst(hot_lines=90.0),
+        br=_br_loops(taken=0.82, bias=0.98, pattern=0.9),
+        fp=38.0, simd=0.095, page=26.0, ipage=46.0, ilp=2.8, mlp=2.7, footprint=130,
+    ),
+    _spec(
+        "444.namd", _FP, "Molecular dynamics", "C++",
+        1500, loads=28.0, stores=9.0, branches=3.0, cpi=0.52,
+        data=_data(l2=0.028, l3=0.005, mem=0.001, cold=0.001),
+        inst=_inst(hot_lines=160.0),
+        br=_br_loops(taken=0.68, bias=0.975, pattern=0.85),
+        fp=44.0, simd=0.11, page=24.0, ipage=40.0, ilp=3.2, mlp=2.4, footprint=50,
+    ),
+    _spec(
+        "447.dealII", _FP, "Biomedical/FEM", "C++",
+        1200, loads=31.0, stores=8.0, branches=13.0, cpi=0.60,
+        data=_data(l2=0.058, l3=0.008, mem=0.002, cold=0.002),
+        inst=_inst(hot_lines=320.0, big_share=0.12, big_lines=2800.0),
+        br=_br_loops(taken=0.70, bias=0.96, pattern=0.8, sites=2800),
+        fp=30.0, simd=0.06, page=13.0, ipage=30.0, ilp=3.0, mlp=2.4, footprint=800,
+    ),
+    _spec(
+        "450.soplex", _FP, "Linear programming", "C++",
+        700, loads=29.0, stores=7.0, branches=13.0, cpi=0.72,
+        data=_data(l2=0.062, l3=0.010, mem=0.003, cold=0.002, sigma=1.05),
+        inst=_inst(hot_lines=240.0),
+        br=_br(taken=0.70, med=0.13, hard=0.035, sites=2400),
+        fp=27.0, simd=0.05, page=11.0, ipage=34.0, ilp=2.3, mlp=2.0, footprint=430,
+    ),
+    _spec(
+        "453.povray", _FP, "Visualization", "C++",
+        1100, loads=31.0, stores=14.0, branches=14.0, cpi=0.55,
+        data=_data(l2=0.018, l3=0.003, mem=0.0008, cold=0.0008),
+        inst=_inst(hot_lines=260.0, big_share=0.10, big_lines=2000.0),
+        br=_br(taken=0.63, med=0.16, hard=0.04, sites=3200),
+        fp=25.0, simd=0.025, page=5.0, ipage=34.0, ilp=3.0, mlp=2.0, footprint=10,
+    ),
+    _spec(
+        "454.calculix", _FP, "Structural mechanics", "C/Fortran",
+        1300, loads=27.0, stores=9.0, branches=5.0, cpi=0.60,
+        data=_data(l2=0.035, l3=0.009, mem=0.002, cold=0.002),
+        inst=_inst(hot_lines=280.0, big_share=0.12, big_lines=2600.0),
+        br=_br_loops(taken=0.74, bias=0.97, pattern=0.85),
+        fp=38.0, simd=0.076, page=20.0, ipage=34.0, ilp=3.0, mlp=2.2, footprint=200,
+    ),
+    _spec(
+        "459.GemsFDTD", _FP, "Physics", "Fortran",
+        1100, loads=36.0, stores=11.0, branches=3.0, cpi=1.05,
+        data=_data(l2=0.100, l3=0.012, mem=0.004, cold=0.004, sigma=0.9),
+        inst=_inst(hot_lines=110.0),
+        br=_br_loops(taken=0.83, bias=0.98, pattern=0.9),
+        fp=36.0, simd=0.072, page=10.0, ipage=46.0, ilp=2.6, mlp=2.5, footprint=850,
+    ),
+    _spec(
+        "465.tonto", _FP, "Quantum chemistry", "Fortran",
+        1200, loads=26.0, stores=10.0, branches=10.0, cpi=0.62,
+        data=_data(l2=0.030, l3=0.007, mem=0.0015, cold=0.001),
+        inst=_inst(hot_lines=600.0, big_share=0.28, big_lines=6000.0),
+        br=_br_loops(taken=0.70, bias=0.96, pattern=0.8, sites=6000),
+        fp=36.0, simd=0.054, page=20.0, ipage=24.0, ilp=2.9, mlp=2.0, footprint=40,
+    ),
+    _spec(
+        "470.lbm", _FP, "Fluid dynamics", "C",
+        1200, loads=27.0, stores=14.0, branches=1.0, cpi=0.75,
+        data=_data(l2=0.095, l3=0.006, mem=0.002, cold=0.0025, sigma=0.75),
+        inst=_inst(hot_lines=40.0),
+        br=_br_loops(taken=0.85, bias=0.985, pattern=0.9),
+        fp=40.0, simd=0.1, page=50.0, ipage=50.0, ilp=2.8, mlp=3.2, footprint=410,
+    ),
+    _spec(
+        "481.wrf", _FP, "Climatology", "Fortran/C",
+        1600, loads=24.0, stores=7.0, branches=10.0, cpi=0.80,
+        data=_data(l2=0.050, l3=0.013, mem=0.0035, cold=0.003),
+        inst=_inst(hot_lines=600.0, big_share=0.28, big_lines=6000.0),
+        br=_br_loops(taken=0.72, bias=0.955, pattern=0.75, sites=6500),
+        fp=34.0, simd=0.068, page=18.0, ipage=22.0, ilp=2.4, mlp=2.0, footprint=160,
+    ),
+    _spec(
+        "482.sphinx3", _FP, "Speech recognition", "C",
+        1700, loads=30.0, stores=5.0, branches=10.0, cpi=0.75,
+        data=_data(l2=0.062, l3=0.009, mem=0.002, cold=0.002),
+        inst=_inst(hot_lines=130.0),
+        br=_br_loops(taken=0.74, bias=0.96, pattern=0.8, sites=1500),
+        fp=30.0, simd=0.06, page=22.0, ipage=42.0, ilp=2.6, mlp=2.3, footprint=45,
+    ),
+)
+
+SPECS: Tuple[WorkloadSpec, ...] = _SPECS_INT + _SPECS_FP
+
+CPU2006_NAMES = tuple(spec.name for spec in SPECS)
+
+#: CPU2006 benchmarks removed from (not carried into) CPU2017.
+REMOVED_IN_2017 = (
+    "401.bzip2", "429.mcf", "445.gobmk", "456.hmmer", "462.libquantum",
+    "464.h264ref", "473.astar", "416.gamess", "433.milc", "434.zeusmp",
+    "435.gromacs", "436.cactusADM", "437.leslie3d", "447.dealII",
+    "450.soplex", "454.calculix", "459.GemsFDTD", "465.tonto",
+    "482.sphinx3",
+)
+
+#: CPU2006 benchmarks with a direct CPU2017 successor.
+RETAINED_IN_2017 = {
+    "400.perlbench": "500.perlbench_r",
+    "403.gcc": "502.gcc_r",
+    "458.sjeng": "531.deepsjeng_r",
+    "471.omnetpp": "520.omnetpp_r",
+    "483.xalancbmk": "523.xalancbmk_r",
+    "410.bwaves": "503.bwaves_r",
+    "444.namd": "508.namd_r",
+    "453.povray": "511.povray_r",
+    "470.lbm": "519.lbm_r",
+    "481.wrf": "521.wrf_r",
+}
+
+#: The removed benchmarks the paper finds NOT covered by CPU2017.
+PAPER_UNCOVERED = ("429.mcf", "445.gobmk", "473.astar")

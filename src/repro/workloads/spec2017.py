@@ -1,0 +1,707 @@
+"""Models of the 43 SPEC CPU2017 benchmarks.
+
+Every benchmark is parameterized from the data published in the paper:
+
+* Table I — dynamic instruction count, load/store/branch percentages and
+  Skylake CPI (kept as ``reference_cpi`` for calibration tests).
+* Table II — per-sub-suite MPKI / misprediction ranges, which anchor the
+  locality and branch-profile extremes.
+* Section II-B / IV / V prose — which benchmark is bottlenecked where
+  (e.g. mcf's pointer chasing, cactuBSSN's unique memory+TLB behaviour,
+  imagick_s's dependency stalls, gcc/perlbench's instruction footprint).
+
+The reuse-profile helpers below express locality as the share of data
+references whose reuse distance lands in L1-sized, L2-sized, L3-sized and
+memory-sized ranges; the analytic profiler turns these into machine-specific
+MPKI values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.workloads.profiles import (
+    BranchClass,
+    BranchProfile,
+    InstructionMix,
+    ReuseProfile,
+)
+from repro.workloads.spec import InputSetSpec, Suite, WorkloadSpec
+
+__all__ = ["SPECS", "CPU2017_NAMES", "RATE_SPEED_PAIRS"]
+
+# Characteristic reuse-distance medians (in 64-byte cache lines) for
+# references that resolve in an L1-, L2-, L3-sized or memory-sized window.
+_L1_MEDIAN = 35.0
+_L2_MEDIAN = 1100.0
+_L3_MEDIAN = 28000.0
+_MEM_MEDIAN = 900000.0
+
+
+def _data(
+    l2: float,
+    l3: float,
+    mem: float,
+    cold: float = 0.002,
+    scale: float = 1.0,
+    sigma: float = 1.0,
+    l1_median: float = _L1_MEDIAN,
+) -> ReuseProfile:
+    """Data reuse profile from the share of references per cache level.
+
+    ``l2``/``l3``/``mem`` are the shares of warm references whose reuse
+    distance is L2-, L3- and memory-sized; the remainder is L1-resident.
+    """
+    l1 = 1.0 - l2 - l3 - mem
+    components = [(l1, l1_median * scale, sigma)]
+    for weight, median in ((l2, _L2_MEDIAN), (l3, _L3_MEDIAN), (mem, _MEM_MEDIAN)):
+        if weight > 0.0:
+            components.append((weight, median * scale, sigma))
+    return ReuseProfile.from_tuples(components, cold)
+
+
+def _inst(
+    hot_lines: float,
+    big_share: float = 0.0,
+    big_lines: Optional[float] = None,
+    sigma: float = 1.0,
+) -> ReuseProfile:
+    """Instruction reuse profile from the code footprint in lines.
+
+    Loops give instruction fetch strong temporal locality regardless of
+    total code size: the dominant component reuses lines within a few
+    dozen distinct lines.  ``hot_lines`` (the hot-region footprint) sets
+    the medium-reuse component, and ``big_share``/``big_lines`` grow the
+    cold-path tail for benchmarks with multi-hundred-KB code (compilers,
+    interpreters, large Fortran applications).
+    """
+    if big_lines is None:
+        big_lines = 6.0 * hot_lines
+    mid_weight = 0.028 + 0.075 * big_share
+    tail_weight = 0.002 + 0.010 * big_share
+    components = [
+        (1.0 - mid_weight - tail_weight, 28.0, sigma),
+        (mid_weight, 0.6 * hot_lines, sigma),
+        (tail_weight, 5.0 * hot_lines + big_lines, sigma),
+    ]
+    return ReuseProfile.from_tuples(components, cold_fraction=0.0005)
+
+
+# Branch-class biases: easy (loop-like), medium, hard (data-dependent).
+_EASY_BIAS, _MED_BIAS, _HARD_BIAS = 0.985, 0.88, 0.68
+
+
+def _br(
+    taken: float,
+    med: float,
+    hard: float,
+    pattern: Tuple[float, float, float] = (0.9, 0.5, 0.2),
+    sites: int = 2000,
+) -> BranchProfile:
+    """Branch profile from the shares of medium/hard-to-predict branches."""
+    easy = 1.0 - med - hard
+    return BranchProfile(
+        taken_fraction=taken,
+        classes=(
+            BranchClass(easy, _EASY_BIAS, pattern[0]),
+            BranchClass(med, _MED_BIAS, pattern[1]),
+            BranchClass(hard, _HARD_BIAS, pattern[2]),
+        ),
+        static_branches=sites,
+    )
+
+
+def _br_loops(taken: float, bias: float, pattern: float, sites: int = 600) -> BranchProfile:
+    """FP-style loop-dominated branch profile (one dominant class)."""
+    return BranchProfile(
+        taken_fraction=taken,
+        classes=(
+            BranchClass(0.92, bias, pattern),
+            BranchClass(0.08, _MED_BIAS, 0.5),
+        ),
+        static_branches=sites,
+    )
+
+
+def _spec(
+    name: str,
+    suite: Suite,
+    domain: str,
+    language: str,
+    icount: float,
+    loads: float,
+    stores: float,
+    branches: float,
+    cpi: Optional[float],
+    data: ReuseProfile,
+    inst: ReuseProfile,
+    br: BranchProfile,
+    fp: float = 0.0,
+    simd: float = 0.0,
+    page: float = 16.0,
+    ipage: float = 32.0,
+    ilp: float = 3.0,
+    mlp: float = 2.0,
+    footprint: float = 500.0,
+    inputs: Sequence[InputSetSpec] = (),
+    partner: Optional[str] = None,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        suite=suite,
+        domain=domain,
+        language=language,
+        icount_billions=icount,
+        mix=InstructionMix.from_percentages(loads, stores, branches, fp=fp, simd=simd),
+        data_reuse=data,
+        inst_reuse=inst,
+        branches=br,
+        data_page_factor=page,
+        inst_page_factor=ipage,
+        ilp=ilp,
+        mlp=mlp,
+        footprint_mb=footprint,
+        reference_cpi=cpi,
+        input_sets=tuple(inputs),
+        rate_partner=partner,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared per-family behavioural profiles (rate and speed twins share code,
+# so they share locality structure; the speed twin scales working-set size).
+# ---------------------------------------------------------------------------
+
+# perlbench: interpreter — large code footprint, excellent data locality,
+# lots of data-cache *accesses*, well-predicted branches.
+_PERL_DATA = _data(l2=0.030, l3=0.004, mem=0.0015, cold=0.001)
+_PERL_INST = _inst(hot_lines=650.0, big_share=0.25, big_lines=5000.0)
+_PERL_BR = _br(taken=0.62, med=0.06, hard=0.008, sites=9000)
+
+# gcc: compiler — biggest code footprint, pointer-rich IR traversal,
+# highest taken-branch fraction among INT together with mcf.
+_GCC_DATA = _data(l2=0.035, l3=0.008, mem=0.002, cold=0.002)
+_GCC_INST = _inst(hot_lines=900.0, big_share=0.35, big_lines=9000.0)
+_GCC_BR = _br(taken=0.74, med=0.11, hard=0.030, sites=12000)
+
+# mcf: combinatorial optimization — pointer chasing over a huge graph;
+# worst data locality in the INT suites, poor page locality, hard branches.
+_MCF_DATA = _data(l2=0.085, l3=0.038, mem=0.014, cold=0.006, sigma=1.35)
+_MCF_INST = _inst(hot_lines=45.0)
+_MCF_BR = _br(taken=0.78, med=0.22, hard=0.17, sites=700)
+
+# omnetpp: discrete event simulation — scattered heap objects, L3/memory
+# bound, taken-heavy C++ virtual dispatch.
+_OMNET_DATA = _data(l2=0.050, l3=0.016, mem=0.004, cold=0.003, sigma=1.15)
+_OMNET_INST = _inst(hot_lines=380.0, big_share=0.12, big_lines=3000.0)
+_OMNET_BR = _br(taken=0.70, med=0.18, hard=0.055, sites=4000)
+
+# xalancbmk: XML processing — extremely branchy but well-predicted,
+# taken-heavy, back-end cache bound.
+_XALAN_DATA = _data(l2=0.050, l3=0.022, mem=0.006, cold=0.002)
+_XALAN_INST = _inst(hot_lines=420.0, big_share=0.15, big_lines=3500.0)
+_XALAN_BR = _br(taken=0.60, med=0.075, hard=0.012, sites=6000)
+
+# x264: video encoding — streaming SIMD kernels, tiny hot code, very few
+# branches, high ILP.
+_X264_DATA = _data(l2=0.030, l3=0.008, mem=0.002, cold=0.004)
+_X264_INST = _inst(hot_lines=160.0)
+_X264_BR = _br(taken=0.58, med=0.10, hard=0.02, sites=1200)
+
+# deepsjeng: alpha-beta chess search — modest working set, some hard
+# branches, good ILP.
+_DEEP_DATA = _data(l2=0.040, l3=0.012, mem=0.0025, cold=0.001)
+_DEEP_INST = _inst(hot_lines=190.0)
+_DEEP_BR = _br(taken=0.60, med=0.20, hard=0.075, sites=2500)
+
+# leela: Go MCTS — small data footprint but the hardest branches in the
+# suite (paper: highest misprediction rate with mcf).
+_LEELA_DATA = _data(l2=0.022, l3=0.006, mem=0.0012, cold=0.001)
+_LEELA_INST = _inst(hot_lines=150.0)
+_LEELA_BR = _br(taken=0.56, med=0.20, hard=0.30, sites=1800)
+
+# exchange2: Fortran puzzle solver — essentially cache-resident; its
+# working set sits near the L1 boundary (medium L1D sensitivity in
+# Table IX) and it is branch/compute heavy with high store share.
+_EXCH_DATA = _data(l2=0.010, l3=0.0, mem=0.0, cold=0.0002, l1_median=55.0)
+_EXCH_INST = _inst(hot_lines=120.0)
+_EXCH_BR = _br(taken=0.55, med=0.14, hard=0.02, sites=900)
+
+# xz: dictionary compression — large match window (L3/memory pressure),
+# data-dependent branches, strong data-TLB pressure.
+_XZ_DATA = _data(l2=0.060, l3=0.020, mem=0.007, cold=0.003, sigma=1.25)
+_XZ_INST = _inst(hot_lines=110.0)
+_XZ_BR = _br(taken=0.63, med=0.24, hard=0.11, sites=1500)
+
+# bwaves: blocked fluid-dynamics solver — streaming with large strides;
+# branch behaviour is loop-pattern dominated (very sensitive to predictor
+# quality, Table IX) and the speed input is much larger in memory.
+_BWAVES_DATA = _data(l2=0.050, l3=0.006, mem=0.002, cold=0.003, sigma=1.2)
+_BWAVES_INST = _inst(hot_lines=90.0)
+_BWAVES_BR = _br_loops(taken=0.80, bias=0.93, pattern=0.92)
+
+# cactuBSSN: numerical relativity on a structured grid — the highest L1D
+# miss rate in the suite and uniquely poor page locality (its distinct
+# memory+TLB behaviour makes it the most distinct FP benchmark).
+_CACTU_DATA = _data(l2=0.140, l3=0.004, mem=0.0015, cold=0.002, sigma=0.7)
+_CACTU_INST = _inst(hot_lines=520.0, big_share=0.15, big_lines=4200.0)
+_CACTU_BR = _br_loops(taken=0.75, bias=0.97, pattern=0.8)
+
+# lbm: lattice-Boltzmann — pure streaming stencil: high L1D misses that
+# stream through all levels, almost no branches.
+_LBM_DATA = _data(l2=0.100, l3=0.005, mem=0.002, cold=0.002, sigma=0.7)
+_LBM_INST = _inst(hot_lines=40.0)
+_LBM_BR = _br_loops(taken=0.85, bias=0.985, pattern=0.9)
+
+# wrf: weather model — large Fortran code, mixed locality.
+_WRF_DATA = _data(l2=0.055, l3=0.006, mem=0.002, cold=0.002)
+_WRF_INST = _inst(hot_lines=650.0, big_share=0.30, big_lines=6500.0)
+_WRF_BR = _br_loops(taken=0.72, bias=0.962, pattern=0.80, sites=4000)
+
+# cam4: atmosphere model — very large code footprint (high I-side
+# activity among FP), moderate data locality.
+_CAM4_DATA = _data(l2=0.050, l3=0.005, mem=0.0015, cold=0.002)
+_CAM4_INST = _inst(hot_lines=800.0, big_share=0.40, big_lines=10000.0)
+_CAM4_BR = _br_loops(taken=0.70, bias=0.975, pattern=0.85, sites=4500)
+
+# pop2: ocean model (speed only) — large code, branchy for an FP code.
+_POP2_DATA = _data(l2=0.045, l3=0.004, mem=0.0015, cold=0.002)
+_POP2_INST = _inst(hot_lines=750.0, big_share=0.40, big_lines=9000.0)
+_POP2_BR = _br_loops(taken=0.68, bias=0.978, pattern=0.85, sites=4000)
+
+# imagick: image processing — long floating-point dependency chains are
+# the bottleneck (lowest ILP in the suite); the speed run uses a much
+# larger image (>=30% more misses at every level than rate).
+_IMAGICK_DATA = _data(l2=0.030, l3=0.004, mem=0.001, cold=0.002)
+_IMAGICK_INST = _inst(hot_lines=130.0)
+_IMAGICK_BR = _br_loops(taken=0.66, bias=0.97, pattern=0.85)
+
+# nab: molecular modelling — FP intensive, modest working set.
+_NAB_DATA = _data(l2=0.045, l3=0.005, mem=0.0015, cold=0.002)
+_NAB_INST = _inst(hot_lines=160.0)
+_NAB_BR = _br_loops(taken=0.70, bias=0.96, pattern=0.8)
+
+# fotonik3d: FDTD electromagnetics — large sweeping arrays with poor L1
+# behaviour; the most data-cache sensitive benchmark across machines.
+_FOTONIK_DATA = _data(l2=0.130, l3=0.005, mem=0.002, cold=0.0025, sigma=0.7)
+_FOTONIK_INST = _inst(hot_lines=70.0)
+_FOTONIK_BR = _br_loops(taken=0.82, bias=0.98, pattern=0.9)
+
+# roms: regional ocean model — streaming with blocked reuse.
+_ROMS_DATA = _data(l2=0.075, l3=0.007, mem=0.002, cold=0.003)
+_ROMS_INST = _inst(hot_lines=240.0, big_share=0.10, big_lines=2500.0)
+_ROMS_BR = _br_loops(taken=0.76, bias=0.965, pattern=0.8)
+
+# namd: molecular dynamics — compute dense, cache friendly.
+_NAMD_DATA = _data(l2=0.030, l3=0.003, mem=0.001, cold=0.001)
+_NAMD_INST = _inst(hot_lines=170.0)
+_NAMD_BR = _br_loops(taken=0.68, bias=0.975, pattern=0.85)
+
+# parest: finite-element biomedical imaging — sparse linear algebra.
+_PAREST_DATA = _data(l2=0.060, l3=0.008, mem=0.002, cold=0.002)
+_PAREST_INST = _inst(hot_lines=300.0, big_share=0.12, big_lines=2800.0)
+_PAREST_BR = _br_loops(taken=0.71, bias=0.96, pattern=0.8, sites=2500)
+
+# povray: ray tracing — tiny working set, branchy for FP, data-TLB
+# sensitive (scattered scene-graph pages around TLB coverage).
+_POVRAY_DATA = _data(l2=0.020, l3=0.004, mem=0.001, cold=0.0008)
+_POVRAY_INST = _inst(hot_lines=280.0, big_share=0.10, big_lines=2200.0)
+_POVRAY_BR = _br(taken=0.64, med=0.10, hard=0.018, sites=3500)
+
+# blender: 3D rendering — large C/C++ code, dependency-limited shading.
+_BLENDER_DATA = _data(l2=0.012, l3=0.0005, mem=0.0002, cold=0.0003)
+_BLENDER_INST = _inst(hot_lines=500.0, big_share=0.20, big_lines=5000.0)
+_BLENDER_BR = _br(taken=0.66, med=0.14, hard=0.03, sites=8000)
+
+
+# ---------------------------------------------------------------------------
+# SPECrate INT (10)
+# ---------------------------------------------------------------------------
+
+_RATE_INT = (
+    _spec(
+        "500.perlbench_r", Suite.SPEC2017_RATE_INT, "Compiler/Interpreter", "C",
+        2696, loads=27.20, stores=16.73, branches=18.16, cpi=0.42, fp=1.0, simd=0.008,
+        data=_PERL_DATA, inst=_PERL_INST, br=_PERL_BR,
+        page=20.0, ipage=24.0, ilp=3.6, mlp=2.0, footprint=200,
+        inputs=(
+            InputSetSpec(1, weight=1.2),
+            InputSetSpec(2, data_scale=1.25, branch_shift=0.004, mix_shift=0.01),
+            InputSetSpec(3, data_scale=0.8, branch_shift=-0.004, cold_shift=0.001),
+        ),
+        partner="600.perlbench_s",
+    ),
+    _spec(
+        "502.gcc_r", Suite.SPEC2017_RATE_INT, "Compiler/Interpreter", "C",
+        3023, loads=34.51, stores=16.64, branches=14.96, cpi=0.59, fp=1.2, simd=0.0024,
+        data=_GCC_DATA, inst=_GCC_INST, br=_GCC_BR,
+        page=18.0, ipage=20.0, ilp=3.2, mlp=2.2, footprint=1300,
+        inputs=(
+            InputSetSpec(1, data_scale=0.9),
+            InputSetSpec(2, weight=1.3),
+            InputSetSpec(3, data_scale=1.2, mix_shift=0.012),
+            InputSetSpec(4, data_scale=1.1, branch_shift=0.003),
+            InputSetSpec(5, data_scale=0.75, branch_shift=-0.003, cold_shift=0.001),
+        ),
+        partner="602.gcc_s",
+    ),
+    _spec(
+        "505.mcf_r", Suite.SPEC2017_RATE_INT, "Combinatorial optimization", "C",
+        999, loads=17.42, stores=6.08, branches=11.54, cpi=1.16, fp=0.2, simd=0.0001,
+        data=_MCF_DATA, inst=_MCF_INST, br=_MCF_BR,
+        page=2.2, ipage=48.0, ilp=2.2, mlp=2.4, footprint=4000,
+        partner="605.mcf_s",
+    ),
+    _spec(
+        "520.omnetpp_r", Suite.SPEC2017_RATE_INT, "Discrete event simulation", "C++",
+        1102, loads=22.10, stores=12.27, branches=14.12, cpi=1.39, fp=1.5, simd=0.0015,
+        data=_OMNET_DATA, inst=_OMNET_INST, br=_OMNET_BR,
+        page=7.5, ipage=28.0, ilp=1.9, mlp=1.6, footprint=250,
+        partner="620.omnetpp_s",
+    ),
+    _spec(
+        "523.xalancbmk_r", Suite.SPEC2017_RATE_INT, "Document processing", "C++",
+        1315, loads=34.26, stores=8.07, branches=33.26, cpi=0.86, fp=0.8, simd=0.0012,
+        data=_XALAN_DATA, inst=_XALAN_INST, br=_XALAN_BR,
+        page=10.0, ipage=26.0, ilp=2.4, mlp=2.2, footprint=480,
+        partner="623.xalancbmk_s",
+    ),
+    _spec(
+        "525.x264_r", Suite.SPEC2017_RATE_INT, "Compression", "C",
+        4488, loads=23.03, stores=6.47, branches=4.37, cpi=0.31,
+        data=_X264_DATA, inst=_X264_INST, br=_X264_BR,
+        fp=2.0, simd=0.02, page=40.0, ipage=40.0, ilp=4.6, mlp=3.0, footprint=150,
+        inputs=(
+            InputSetSpec(1, data_scale=0.85),
+            InputSetSpec(2, data_scale=1.15, mix_shift=0.008),
+            InputSetSpec(3, weight=1.4),
+        ),
+        partner="625.x264_s",
+    ),
+    _spec(
+        "531.deepsjeng_r", Suite.SPEC2017_RATE_INT, "Artificial intelligence", "C++",
+        1929, loads=19.61, stores=9.10, branches=11.61, cpi=0.57, fp=0.4, simd=0.0004,
+        data=_DEEP_DATA, inst=_DEEP_INST, br=_DEEP_BR,
+        page=14.0, ipage=36.0, ilp=3.1, mlp=2.0, footprint=700,
+        partner="631.deepsjeng_s",
+    ),
+    _spec(
+        "541.leela_r", Suite.SPEC2017_RATE_INT, "Artificial intelligence", "C++",
+        2246, loads=14.28, stores=5.33, branches=8.95, cpi=0.81, fp=1.0, simd=0.001,
+        data=_LEELA_DATA, inst=_LEELA_INST, br=_LEELA_BR,
+        page=16.0, ipage=36.0, ilp=2.3, mlp=1.8, footprint=60,
+        partner="641.leela_s",
+    ),
+    _spec(
+        "548.exchange2_r", Suite.SPEC2017_RATE_INT, "Artificial intelligence", "Fortran",
+        6644, loads=29.62, stores=20.24, branches=8.69, cpi=0.41, fp=1.8, simd=0.012,
+        data=_EXCH_DATA, inst=_EXCH_INST, br=_EXCH_BR,
+        page=30.0, ipage=44.0, ilp=3.6, mlp=2.0, footprint=1,
+        partner="648.exchange2_s",
+    ),
+    _spec(
+        "557.xz_r", Suite.SPEC2017_RATE_INT, "Compression", "C",
+        1969, loads=17.33, stores=3.87, branches=12.24, cpi=1.22, fp=0.3, simd=0.0008,
+        data=_XZ_DATA, inst=_XZ_INST, br=_XZ_BR,
+        page=5.0, ipage=44.0, ilp=2.0, mlp=1.8, footprint=700,
+        inputs=(
+            InputSetSpec(1, weight=1.2),
+            InputSetSpec(2, data_scale=1.2, branch_shift=0.003, mix_shift=0.006),
+        ),
+        partner="657.xz_s",
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# SPECspeed INT (10) — same code as the rate versions with larger inputs;
+# the paper finds omnetpp/xalancbmk/x264 moderately different, others near
+# identical (Section IV-D).
+# ---------------------------------------------------------------------------
+
+_SPEED_INT = (
+    _spec(
+        "600.perlbench_s", Suite.SPEC2017_SPEED_INT, "Compiler/Interpreter", "C",
+        2696, loads=27.20, stores=16.73, branches=18.16, cpi=0.42, fp=1.0, simd=0.008,
+        data=_PERL_DATA, inst=_PERL_INST, br=_PERL_BR,
+        page=20.0, ipage=24.0, ilp=3.6, mlp=2.0, footprint=200,
+        inputs=(
+            InputSetSpec(1, weight=1.2),
+            InputSetSpec(2, data_scale=1.25, branch_shift=0.004, mix_shift=0.01),
+            InputSetSpec(3, data_scale=0.8, branch_shift=-0.004, cold_shift=0.001),
+        ),
+        partner="500.perlbench_r",
+    ),
+    _spec(
+        "602.gcc_s", Suite.SPEC2017_SPEED_INT, "Compiler/Interpreter", "C",
+        7226, loads=40.32, stores=15.67, branches=15.60, cpi=0.58, fp=1.2, simd=0.0024,
+        data=_GCC_DATA.scaled(1.15), inst=_GCC_INST, br=_GCC_BR,
+        page=18.0, ipage=20.0, ilp=3.2, mlp=2.2, footprint=1600,
+        inputs=(
+            InputSetSpec(1, weight=1.3),
+            InputSetSpec(2, data_scale=1.15, mix_shift=0.010),
+            InputSetSpec(3, data_scale=0.85, branch_shift=-0.002),
+        ),
+        partner="502.gcc_r",
+    ),
+    _spec(
+        "605.mcf_s", Suite.SPEC2017_SPEED_INT, "Combinatorial optimization", "C",
+        1775, loads=18.55, stores=4.70, branches=12.53, cpi=1.22, fp=0.2, simd=0.0001,
+        data=_MCF_DATA.scaled(1.5), inst=_MCF_INST, br=_MCF_BR,
+        page=2.2, ipage=48.0, ilp=2.2, mlp=2.4, footprint=11200,
+        partner="505.mcf_r",
+    ),
+    _spec(
+        "620.omnetpp_s", Suite.SPEC2017_SPEED_INT, "Discrete event simulation", "C++",
+        1102, loads=22.76, stores=12.65, branches=14.55, cpi=1.21, fp=1.5, simd=0.0015,
+        data=_OMNET_DATA.scaled(1.25), inst=_OMNET_INST, br=_OMNET_BR,
+        page=7.5, ipage=28.0, ilp=2.1, mlp=1.9, footprint=700,
+        partner="520.omnetpp_r",
+    ),
+    _spec(
+        "623.xalancbmk_s", Suite.SPEC2017_SPEED_INT, "Document processing", "C++",
+        1320, loads=34.08, stores=7.90, branches=33.18, cpi=0.86, fp=0.8, simd=0.0012,
+        data=_XALAN_DATA.scaled(1.55), inst=_XALAN_INST, br=_XALAN_BR,
+        page=10.0, ipage=26.0, ilp=2.5, mlp=2.3, footprint=900,
+        partner="523.xalancbmk_r",
+    ),
+    _spec(
+        "625.x264_s", Suite.SPEC2017_SPEED_INT, "Compression", "C",
+        12546, loads=37.21, stores=10.27, branches=4.59, cpi=0.36,
+        data=_X264_DATA.scaled(1.5), inst=_X264_INST, br=_X264_BR,
+        fp=2.0, simd=0.02, page=40.0, ipage=40.0, ilp=4.4, mlp=3.0, footprint=300,
+        inputs=(
+            InputSetSpec(1, data_scale=0.85),
+            InputSetSpec(2, data_scale=1.15, mix_shift=0.008),
+            InputSetSpec(3, weight=1.4),
+        ),
+        partner="525.x264_r",
+    ),
+    _spec(
+        "631.deepsjeng_s", Suite.SPEC2017_SPEED_INT, "Artificial intelligence", "C++",
+        2250, loads=19.75, stores=9.37, branches=11.75, cpi=0.55, fp=0.4, simd=0.0004,
+        data=_DEEP_DATA.scaled(1.1), inst=_DEEP_INST, br=_DEEP_BR,
+        page=14.0, ipage=36.0, ilp=3.1, mlp=2.0, footprint=6000,
+        partner="531.deepsjeng_r",
+    ),
+    _spec(
+        "641.leela_s", Suite.SPEC2017_SPEED_INT, "Artificial intelligence", "C++",
+        2245, loads=14.25, stores=5.32, branches=8.94, cpi=0.80, fp=1.0, simd=0.001,
+        data=_LEELA_DATA, inst=_LEELA_INST, br=_LEELA_BR,
+        page=16.0, ipage=36.0, ilp=2.3, mlp=1.8, footprint=60,
+        partner="541.leela_r",
+    ),
+    _spec(
+        "648.exchange2_s", Suite.SPEC2017_SPEED_INT, "Artificial intelligence", "Fortran",
+        6643, loads=29.61, stores=20.22, branches=8.67, cpi=0.41, fp=1.8, simd=0.012,
+        data=_EXCH_DATA, inst=_EXCH_INST, br=_EXCH_BR,
+        page=30.0, ipage=44.0, ilp=3.6, mlp=2.0, footprint=1,
+        partner="548.exchange2_r",
+    ),
+    _spec(
+        "657.xz_s", Suite.SPEC2017_SPEED_INT, "Compression", "C",
+        8264, loads=13.34, stores=4.73, branches=8.21, cpi=1.00, fp=0.3, simd=0.0008,
+        data=_XZ_DATA.scaled(1.25), inst=_XZ_INST, br=_XZ_BR,
+        page=5.0, ipage=44.0, ilp=2.2, mlp=2.0, footprint=12000,
+        inputs=(
+            InputSetSpec(1, weight=1.2),
+            InputSetSpec(2, data_scale=1.2, branch_shift=0.003, mix_shift=0.006),
+        ),
+        partner="557.xz_r",
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# SPECrate FP (13)
+# ---------------------------------------------------------------------------
+
+_RATE_FP = (
+    _spec(
+        "503.bwaves_r", Suite.SPEC2017_RATE_FP, "Fluid dynamics", "Fortran",
+        5488, loads=34.92, stores=4.77, branches=9.51, cpi=0.42,
+        data=_BWAVES_DATA, inst=_BWAVES_INST, br=_BWAVES_BR,
+        fp=38.0, simd=0.19, page=6.0, ipage=48.0, ilp=3.6, mlp=3.4, footprint=800,
+        inputs=(
+            InputSetSpec(1, weight=1.1),
+            InputSetSpec(2, data_scale=1.15, mix_shift=0.004),
+        ),
+        partner="603.bwaves_s",
+    ),
+    _spec(
+        "507.cactubssn_r", Suite.SPEC2017_RATE_FP, "Physics", "C++/C/Fortran",
+        1322, loads=43.62, stores=9.53, branches=1.97, cpi=0.69,
+        data=_CACTU_DATA, inst=_CACTU_INST, br=_CACTU_BR,
+        fp=34.0, simd=0.136, page=1.6, ipage=30.0, ilp=3.0, mlp=3.2, footprint=1500,
+        partner="607.cactubssn_s",
+    ),
+    _spec(
+        "508.namd_r", Suite.SPEC2017_RATE_FP, "Molecular dynamics", "C++",
+        2237, loads=30.12, stores=10.25, branches=1.75, cpi=0.41,
+        data=_NAMD_DATA, inst=_NAMD_INST, br=_NAMD_BR,
+        fp=45.0, simd=0.2475, page=24.0, ipage=40.0, ilp=3.8, mlp=2.5, footprint=120,
+    ),
+    _spec(
+        "510.parest_r", Suite.SPEC2017_RATE_FP, "Biomedical", "C++",
+        3461, loads=29.51, stores=2.50, branches=11.49, cpi=0.48,
+        data=_PAREST_DATA, inst=_PAREST_INST, br=_PAREST_BR,
+        fp=30.0, simd=0.105, page=12.0, ipage=32.0, ilp=3.3, mlp=2.6, footprint=400,
+    ),
+    _spec(
+        "511.povray_r", Suite.SPEC2017_RATE_FP, "Visualization", "C++/C",
+        3310, loads=30.30, stores=13.13, branches=14.20, cpi=0.42,
+        data=_POVRAY_DATA, inst=_POVRAY_INST, br=_POVRAY_BR,
+        fp=25.0, simd=0.05, page=4.5, ipage=34.0, ilp=3.5, mlp=2.0, footprint=30,
+    ),
+    _spec(
+        "519.lbm_r", Suite.SPEC2017_RATE_FP, "Fluid dynamics", "C",
+        1468, loads=28.35, stores=15.09, branches=1.05, cpi=0.53,
+        data=_LBM_DATA, inst=_LBM_INST, br=_LBM_BR,
+        fp=40.0, simd=0.2, page=50.0, ipage=50.0, ilp=3.5, mlp=3.6, footprint=420,
+        partner="619.lbm_s",
+    ),
+    _spec(
+        "521.wrf_r", Suite.SPEC2017_RATE_FP, "Climatology", "Fortran/C",
+        3197, loads=22.94, stores=5.93, branches=9.48, cpi=0.81,
+        data=_WRF_DATA, inst=_WRF_INST, br=_WRF_BR,
+        fp=35.0, simd=0.14, page=18.0, ipage=22.0, ilp=2.4, mlp=2.0, footprint=200,
+        partner="621.wrf_s",
+    ),
+    _spec(
+        "526.blender_r", Suite.SPEC2017_RATE_FP, "Visualization", "C/C++",
+        5682, loads=36.10, stores=12.07, branches=7.89, cpi=0.53,
+        data=_BLENDER_DATA, inst=_BLENDER_INST, br=_BLENDER_BR,
+        fp=28.0, simd=0.084, page=30.0, ipage=22.0, ilp=2.9, mlp=2.1, footprint=700,
+    ),
+    _spec(
+        "527.cam4_r", Suite.SPEC2017_RATE_FP, "Climatology", "Fortran/C",
+        2732, loads=19.99, stores=8.37, branches=11.06, cpi=0.56,
+        data=_CAM4_DATA, inst=_CAM4_INST, br=_CAM4_BR,
+        fp=32.0, simd=0.112, page=18.0, ipage=22.0, ilp=3.0, mlp=2.2, footprint=900,
+        partner="627.cam4_s",
+    ),
+    _spec(
+        "538.imagick_r", Suite.SPEC2017_RATE_FP, "Visualization", "C",
+        4333, loads=22.55, stores=7.97, branches=10.94, cpi=0.90,
+        data=_IMAGICK_DATA, inst=_IMAGICK_INST, br=_IMAGICK_BR,
+        fp=35.0, simd=0.1575, page=30.0, ipage=42.0, ilp=1.5, mlp=1.8, footprint=300,
+        partner="638.imagick_s",
+    ),
+    _spec(
+        "544.nab_r", Suite.SPEC2017_RATE_FP, "Molecular dynamics", "C",
+        2024, loads=23.70, stores=7.46, branches=9.65, cpi=0.69,
+        data=_NAB_DATA, inst=_NAB_INST, br=_NAB_BR,
+        fp=40.0, simd=0.16, page=16.0, ipage=40.0, ilp=2.6, mlp=2.0, footprint=150,
+        partner="644.nab_s",
+    ),
+    _spec(
+        "549.fotonik3d_r", Suite.SPEC2017_RATE_FP, "Physics", "Fortran",
+        1288, loads=39.12, stores=12.07, branches=2.52, cpi=0.96,
+        data=_FOTONIK_DATA, inst=_FOTONIK_INST, br=_FOTONIK_BR,
+        fp=36.0, simd=0.162, page=8.0, ipage=48.0, ilp=2.8, mlp=2.4, footprint=850,
+        partner="649.fotonik3d_s",
+    ),
+    _spec(
+        "554.roms_r", Suite.SPEC2017_RATE_FP, "Climatology", "Fortran",
+        2609, loads=34.57, stores=7.57, branches=6.73, cpi=0.48,
+        data=_ROMS_DATA, inst=_ROMS_INST, br=_ROMS_BR,
+        fp=36.0, simd=0.162, page=26.0, ipage=40.0, ilp=3.4, mlp=2.8, footprint=250,
+        partner="654.roms_s",
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# SPECspeed FP (10) — larger inputs; imagick, bwaves and fotonik3d differ
+# substantially from their rate twins (Section IV-D), the rest are close.
+# ---------------------------------------------------------------------------
+
+_SPEED_FP = (
+    _spec(
+        "603.bwaves_s", Suite.SPEC2017_SPEED_FP, "Fluid dynamics", "Fortran",
+        66395, loads=31.00, stores=4.42, branches=13.00, cpi=0.34,
+        data=_BWAVES_DATA.scaled(2.6).with_cold_fraction(0.004),
+        inst=_BWAVES_INST, br=_BWAVES_BR,
+        fp=38.0, simd=0.19, page=6.0, ipage=48.0, ilp=4.2, mlp=4.2, footprint=11000,
+        inputs=(
+            InputSetSpec(1, weight=1.1),
+            InputSetSpec(2, data_scale=1.15, mix_shift=0.004),
+        ),
+        partner="503.bwaves_r",
+    ),
+    _spec(
+        "607.cactubssn_s", Suite.SPEC2017_SPEED_FP, "Physics", "C++/C/Fortran",
+        10976, loads=43.87, stores=9.50, branches=1.80, cpi=0.68,
+        data=_CACTU_DATA.scaled(1.12), inst=_CACTU_INST, br=_CACTU_BR,
+        fp=34.0, simd=0.136, page=1.6, ipage=30.0, ilp=3.0, mlp=3.3, footprint=6600,
+        partner="507.cactubssn_r",
+    ),
+    _spec(
+        "619.lbm_s", Suite.SPEC2017_SPEED_FP, "Fluid dynamics", "C",
+        4416, loads=29.62, stores=17.68, branches=1.40, cpi=0.87,
+        data=_LBM_DATA.scaled(1.5).with_cold_fraction(0.004),
+        inst=_LBM_INST, br=_LBM_BR,
+        fp=40.0, simd=0.2, page=50.0, ipage=50.0, ilp=2.8, mlp=3.2, footprint=3400,
+        partner="519.lbm_r",
+    ),
+    _spec(
+        "621.wrf_s", Suite.SPEC2017_SPEED_FP, "Climatology", "Fortran/C",
+        18524, loads=23.20, stores=5.80, branches=9.48, cpi=0.77,
+        data=_WRF_DATA.scaled(1.1), inst=_WRF_INST, br=_WRF_BR,
+        fp=35.0, simd=0.14, page=18.0, ipage=22.0, ilp=2.5, mlp=2.0, footprint=2000,
+        partner="521.wrf_r",
+    ),
+    _spec(
+        "627.cam4_s", Suite.SPEC2017_SPEED_FP, "Climatology", "Fortran/C",
+        15594, loads=20.0, stores=14.0, branches=10.92, cpi=0.68,
+        data=_CAM4_DATA.scaled(1.15), inst=_CAM4_INST, br=_CAM4_BR,
+        fp=32.0, simd=0.112, page=18.0, ipage=22.0, ilp=2.7, mlp=2.2, footprint=4000,
+        partner="527.cam4_r",
+    ),
+    _spec(
+        "628.pop2_s", Suite.SPEC2017_SPEED_FP, "Climatology", "Fortran/C",
+        18611, loads=21.71, stores=8.41, branches=15.13, cpi=0.48,
+        data=_POP2_DATA, inst=_POP2_INST, br=_POP2_BR,
+        fp=30.0, simd=0.105, page=18.0, ipage=22.0, ilp=3.3, mlp=2.3, footprint=1400,
+    ),
+    _spec(
+        "638.imagick_s", Suite.SPEC2017_SPEED_FP, "Visualization", "C",
+        66788, loads=18.16, stores=0.46, branches=9.30, cpi=1.17,
+        data=_IMAGICK_DATA.scaled(1.8).with_cold_fraction(0.003),
+        inst=_IMAGICK_INST, br=_IMAGICK_BR,
+        fp=42.0, simd=0.189, page=30.0, ipage=42.0, ilp=1.15, mlp=1.6, footprint=5000,
+        partner="538.imagick_r",
+    ),
+    _spec(
+        "644.nab_s", Suite.SPEC2017_SPEED_FP, "Molecular dynamics", "C",
+        13489, loads=23.49, stores=7.51, branches=9.55, cpi=0.68,
+        data=_NAB_DATA.scaled(1.05), inst=_NAB_INST, br=_NAB_BR,
+        fp=40.0, simd=0.16, page=16.0, ipage=40.0, ilp=2.6, mlp=2.0, footprint=600,
+        partner="544.nab_r",
+    ),
+    _spec(
+        "649.fotonik3d_s", Suite.SPEC2017_SPEED_FP, "Physics", "Fortran",
+        4280, loads=33.99, stores=13.89, branches=3.84, cpi=0.78,
+        data=_FOTONIK_DATA.scaled(1.6).with_cold_fraction(0.004),
+        inst=_FOTONIK_INST, br=_FOTONIK_BR,
+        fp=36.0, simd=0.162, page=8.0, ipage=48.0, ilp=3.2, mlp=3.0, footprint=9500,
+        partner="549.fotonik3d_r",
+    ),
+    _spec(
+        "654.roms_s", Suite.SPEC2017_SPEED_FP, "Climatology", "Fortran",
+        22968, loads=32.02, stores=8.02, branches=7.53, cpi=0.52,
+        data=_ROMS_DATA.scaled(1.7).with_cold_fraction(0.004),
+        inst=_ROMS_INST, br=_ROMS_BR,
+        fp=36.0, simd=0.162, page=26.0, ipage=40.0, ilp=3.3, mlp=3.0, footprint=8600,
+        partner="554.roms_r",
+    ),
+)
+
+
+SPECS: Tuple[WorkloadSpec, ...] = _RATE_INT + _SPEED_INT + _RATE_FP + _SPEED_FP
+
+CPU2017_NAMES = tuple(spec.name for spec in SPECS)
+
+#: (rate, speed) twin pairs present in both categories.
+RATE_SPEED_PAIRS: Tuple[Tuple[str, str], ...] = tuple(
+    (spec.name, spec.rate_partner)
+    for spec in _RATE_INT + _RATE_FP
+    if spec.rate_partner is not None
+)

@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+Heavy analysis pipelines are computed once per session and shared by the
+many small assertions that examine them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.profiler import Profiler
+from repro.workloads.spec import Suite, workloads_in_suite
+
+CPU2017_SUITES = (
+    Suite.SPEC2017_SPEED_INT,
+    Suite.SPEC2017_RATE_INT,
+    Suite.SPEC2017_SPEED_FP,
+    Suite.SPEC2017_RATE_FP,
+)
+
+
+@pytest.fixture(scope="session")
+def profiler() -> Profiler:
+    """A shared analytic profiler so every (workload, machine) pair is
+    profiled at most once for the whole test session."""
+    return Profiler()
+
+
+@pytest.fixture(scope="session")
+def cpu2017_names() -> list:
+    return [s.name for s in workloads_in_suite(*CPU2017_SUITES)]
+
+
+@pytest.fixture(scope="session")
+def suite_results(profiler):
+    """Similarity analyses of the four CPU2017 sub-suites."""
+    from repro.core.similarity import analyze_similarity
+
+    results = {}
+    for suite in CPU2017_SUITES:
+        names = [s.name for s in workloads_in_suite(suite)]
+        results[suite] = analyze_similarity(names, profiler=profiler)
+    return results
+
+
+@pytest.fixture(scope="session")
+def balance_report(profiler):
+    from repro.core.balance import analyze_balance
+
+    return analyze_balance(profiler=profiler)
+
+
+@pytest.fixture(scope="session")
+def case_study_report(profiler):
+    from repro.core.casestudies import analyze_case_studies
+
+    return analyze_case_studies(profiler=profiler)
+
+
+@pytest.fixture(scope="session")
+def rate_speed_comparison(profiler):
+    from repro.core.rate_speed import compare_rate_speed
+
+    return compare_rate_speed(profiler=profiler)
+
+
+@pytest.fixture(scope="session")
+def input_set_analysis(profiler):
+    from repro.core.inputsets import analyze_input_sets
+
+    return analyze_input_sets(profiler=profiler)
+
+
+@pytest.fixture(scope="session")
+def power_spectrum(profiler):
+    from repro.core.power_analysis import analyze_power_spectrum
+
+    return analyze_power_spectrum(profiler=profiler)

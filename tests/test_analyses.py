@@ -1,0 +1,243 @@
+"""Tests for the Section IV/V analyses (input sets, rate/speed,
+classification, domains, balance, power, case studies, sensitivity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import (
+    branch_space,
+    dcache_space,
+    extremes,
+    icache_space,
+)
+from repro.core.domain_analysis import analyze_domains
+from repro.core.inputsets import PAPER_REPRESENTATIVE_INPUTS, analyze_input_sets
+from repro.core.sensitivity import (
+    SENSITIVITY_CHARACTERISTICS,
+    classify_sensitivity,
+)
+from repro.errors import AnalysisError
+from repro.perf.counters import Metric
+from repro.workloads.spec import Suite
+
+
+class TestInputSets:
+    def test_every_multi_input_benchmark_gets_a_representative(
+        self, input_set_analysis
+    ):
+        expected = {
+            "500.perlbench_r", "502.gcc_r", "525.x264_r", "557.xz_r",
+            "600.perlbench_s", "602.gcc_s", "625.x264_s", "657.xz_s",
+        }
+        assert set(input_set_analysis.representative) == expected
+
+    def test_representatives_are_valid_indices(self, input_set_analysis):
+        from repro.workloads.spec import get_workload
+
+        for name, index in input_set_analysis.representative.items():
+            indices = {i.index for i in get_workload(name).input_sets}
+            assert index in indices
+
+    def test_variance_covered_high(self, input_set_analysis):
+        assert input_set_analysis.variance_covered > 0.85
+
+    def test_input_sets_cluster_together(self, input_set_analysis):
+        """Section IV-C: CPU2017 inputs of one benchmark behave alike —
+        the spread among a benchmark's inputs is small relative to the
+        overall workload-space scale."""
+        scale = float(np.median(
+            input_set_analysis.distances[input_set_analysis.distances > 0]
+        ))
+        for name, cohesion in input_set_analysis.input_cohesion.items():
+            assert cohesion < scale, name
+
+    def test_fp_analysis_covers_bwaves(self, profiler):
+        analysis = analyze_input_sets(
+            suites=(Suite.SPEC2017_RATE_FP, Suite.SPEC2017_SPEED_FP),
+            profiler=profiler,
+        )
+        assert set(analysis.representative) == {"503.bwaves_r", "603.bwaves_s"}
+
+    def test_explicit_benchmark_list(self, profiler):
+        analysis = analyze_input_sets(benchmarks=["502.gcc_r"], profiler=profiler)
+        assert set(analysis.representative) == {"502.gcc_r"}
+
+    def test_distance_lookup(self, input_set_analysis):
+        labels = input_set_analysis.labels
+        assert input_set_analysis.distance_between(labels[0], labels[1]) >= 0.0
+        with pytest.raises(AnalysisError):
+            input_set_analysis.distance_between("ghost", labels[0])
+
+    def test_matches_paper_table7(self, input_set_analysis):
+        """Table VII reproduction for the INT benchmarks."""
+        matches = sum(
+            input_set_analysis.representative.get(name) == index
+            for name, index in PAPER_REPRESENTATIVE_INPUTS.items()
+            if name in input_set_analysis.representative
+        )
+        total = sum(
+            1 for name in PAPER_REPRESENTATIVE_INPUTS
+            if name in input_set_analysis.representative
+        )
+        assert matches >= total - 2  # allow at most two deviations
+
+
+class TestRateSpeed:
+    def test_every_pair_measured(self, rate_speed_comparison):
+        assert len(rate_speed_comparison.int_pairs) == 10
+        assert len(rate_speed_comparison.fp_pairs) == 9
+
+    def test_pair_distances_nonnegative(self, rate_speed_comparison):
+        for pair in rate_speed_comparison.pairs:
+            assert pair.distance >= 0.0
+            assert pair.cophenetic >= pair.distance * 0.0  # both defined
+
+    def test_family_extraction(self, rate_speed_comparison):
+        families = {p.family for p in rate_speed_comparison.int_pairs}
+        assert "mcf" in families and "xalancbmk" in families
+
+    def test_imagick_most_different_fp_pair(self, rate_speed_comparison):
+        """Section IV-D: imagick has by far the largest rate/speed gap."""
+        ranked = rate_speed_comparison.ranked("fp")
+        assert ranked[0].family == "imagick"
+
+    def test_fp_differs_more_than_int_on_average(self, rate_speed_comparison):
+        """Section IV-D: FP pairs show bigger rate/speed differences."""
+        fp = np.mean([p.distance for p in rate_speed_comparison.fp_pairs])
+        int_ = np.mean([p.distance for p in rate_speed_comparison.int_pairs])
+        assert fp > int_
+
+    def test_similar_pairs_exist(self, rate_speed_comparison):
+        """Most twins are near-identical (leela, exchange2, deepsjeng...)."""
+        close = [p for p in rate_speed_comparison.int_pairs if p.distance < 1.0]
+        assert len(close) >= 4
+
+    def test_different_pairs_category_validation(self, rate_speed_comparison):
+        with pytest.raises(AnalysisError):
+            rate_speed_comparison.different_pairs("simd")
+
+    def test_paper_outlier_families_flagged(self, rate_speed_comparison):
+        flagged = {p.family for p in rate_speed_comparison.different_pairs("fp")}
+        assert "imagick" in flagged
+
+
+class TestClassification:
+    def test_branch_space_contains_all_43(self, profiler):
+        space = branch_space(profiler=profiler)
+        assert len(space.points) == 43
+
+    def test_branch_extremes_match_paper(self, profiler):
+        """Fig 9: leela and mcf suffer the worst mispredictions."""
+        worst = [name for name, _ in extremes(Metric.BRANCH_MPKI, top=4)]
+        families = {w.split(".")[1].rsplit("_", 1)[0] for w in worst}
+        assert "leela" in families and "mcf" in families
+
+    def test_taken_extremes_match_paper(self, profiler):
+        """Fig 9: mcf and gcc have the highest taken-branch rates."""
+        worst = [
+            name
+            for name, _ in extremes(Metric.BRANCH_TAKEN_PKI, top=6)
+        ]
+        families = {w.split(".")[1].rsplit("_", 1)[0] for w in worst}
+        assert families & {"mcf", "gcc", "xalancbmk"}
+
+    def test_dcache_extremes_match_paper(self, profiler):
+        """Fig 10: mcf, cactuBSSN and fotonik3d have the worst data
+        locality."""
+        worst = [name for name, _ in extremes(Metric.L1D_MPKI, top=8)]
+        families = {w.split(".")[1].rsplit("_", 1)[0] for w in worst}
+        assert {"cactubssn", "fotonik3d"} <= families
+
+    def test_icache_extremes_match_paper(self, profiler):
+        """Fig 10: perlbench and gcc lead instruction-cache activity."""
+        worst = [name for name, _ in extremes(Metric.L1I_MPKI, top=6)]
+        families = {w.split(".")[1].rsplit("_", 1)[0] for w in worst}
+        assert "gcc" in families
+
+    def test_spaces_have_dominant_feature_metadata(self, profiler):
+        for space in (
+            branch_space(profiler=profiler),
+            dcache_space(profiler=profiler),
+            icache_space(profiler=profiler),
+        ):
+            assert 1 in space.dominated_by
+            assert space.variance_covered > 0.4
+
+    def test_unknown_workload_coordinates(self, profiler):
+        space = branch_space(profiler=profiler)
+        with pytest.raises(AnalysisError):
+            space.coordinates("999.ghost")
+
+    def test_extremes_top_validation(self, profiler):
+        with pytest.raises(AnalysisError):
+            extremes(Metric.CPI, top=0)
+
+
+class TestDomains:
+    @pytest.fixture(scope="class")
+    def report(self, profiler):
+        return analyze_domains(profiler=profiler)
+
+    def test_every_domain_has_at_least_one_distinct(self, report):
+        from repro.workloads.domains import all_domains
+
+        for domain in all_domains():
+            assert len(report.distinct[domain]) >= 1, domain
+
+    def test_biomedical_single_member(self, report):
+        assert report.distinct["Biomedical"] == ("510.parest_r",)
+
+    def test_rate_preferred_for_similar_twins(self, report):
+        """For twins that behave alike only the rate version is marked
+        (e.g. deepsjeng); speed twins appear only when they differ."""
+        ai = report.distinct["Artificial intelligence"]
+        assert "531.deepsjeng_r" in ai
+        assert "631.deepsjeng_s" not in ai
+
+    def test_distinct_members_belong_to_domain(self, report):
+        from repro.workloads.domains import all_domains
+
+        mapping = all_domains()
+        for domain, members in report.distinct.items():
+            for member in members:
+                assert member in mapping[domain]
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class", params=sorted(SENSITIVITY_CHARACTERISTICS))
+    def report(self, request, profiler):
+        return classify_sensitivity(request.param, profiler=profiler)
+
+    def test_partition_covers_all_43(self, report):
+        assert len(report.high) + len(report.medium) + len(report.low) == 43
+
+    def test_partition_disjoint(self, report):
+        assert not set(report.high) & set(report.medium)
+        assert not set(report.medium) & set(report.low)
+
+    def test_high_more_variable_than_low(self, report):
+        high_spread = np.mean([report.rank_spread[w] for w in report.high])
+        low_spread = np.mean([report.rank_spread[w] for w in report.low])
+        assert high_spread > low_spread
+
+    def test_level_lookup(self, report):
+        workload = report.high[0]
+        assert report.level_of(workload) == "high"
+        with pytest.raises(AnalysisError):
+            report.level_of("ghost")
+
+    def test_unknown_characteristic_rejected(self, profiler):
+        with pytest.raises(AnalysisError):
+            classify_sensitivity("l4_cache", profiler=profiler)
+
+    def test_needs_two_machines(self, profiler):
+        with pytest.raises(AnalysisError):
+            classify_sensitivity(
+                "branch_prediction", machines=["skylake-i7-6700"], profiler=profiler
+            )
+
+    def test_leela_branch_insensitive(self, profiler):
+        """Paper caveat: leela mispredicts the worst on *every* machine,
+        which makes it branch-insensitive (stable rank)."""
+        report = classify_sensitivity("branch_prediction", profiler=profiler)
+        assert report.level_of("541.leela_r") in ("low", "medium")

@@ -1,0 +1,159 @@
+"""Tests for the closed-form profiling engine."""
+
+import numpy as np
+import pytest
+
+from repro.perf.analytic import profile_analytic
+from repro.perf.counters import SIMILARITY_METRICS, Metric
+from repro.uarch.machine import get_machine
+from repro.workloads.spec import get_workload
+
+SKYLAKE = get_machine("skylake-i7-6700")
+SPARC_T4 = get_machine("sparc-t4")
+E5405 = get_machine("xeon-e5405")
+
+
+def report(workload="505.mcf_r", machine=SKYLAKE):
+    return profile_analytic(get_workload(workload), machine)
+
+
+class TestReportStructure:
+    def test_all_similarity_metrics_present(self):
+        r = report()
+        for metric in SIMILARITY_METRICS:
+            assert metric in r.metrics
+
+    def test_power_present_only_with_power_model(self):
+        with_power = report(machine=SKYLAKE)
+        without = report(machine=SPARC_T4)
+        assert with_power.power is not None
+        assert without.power is None
+        assert Metric.CORE_POWER_W not in without.metrics
+
+    def test_deterministic(self):
+        first, second = report(), report()
+        assert first.metrics == second.metrics
+
+    def test_cpi_equals_stack_total(self):
+        r = report()
+        assert r.metrics[Metric.CPI] == pytest.approx(r.cpi_stack.total)
+
+    def test_instruction_count_scaled_by_isa(self):
+        x86 = report("541.leela_r", SKYLAKE)
+        sparc = report("541.leela_r", SPARC_T4)
+        assert sparc.instructions > x86.instructions
+
+    def test_getitem_and_get(self):
+        r = report()
+        assert r[Metric.CPI] == r.metrics[Metric.CPI]
+        assert r.get(Metric.CORE_POWER_W, -1.0) != -1.0
+
+
+class TestCacheMetrics:
+    def test_miss_hierarchy_monotone(self):
+        for workload in ("505.mcf_r", "507.cactubssn_r", "502.gcc_r"):
+            r = report(workload)
+            assert r[Metric.L1D_MPKI] >= r[Metric.L2D_MPKI] >= 0
+            assert r[Metric.L1I_MPKI] >= r[Metric.L2I_MPKI] >= 0
+
+    def test_no_l3_machine_reports_l2_misses_as_llc(self):
+        r = report("505.mcf_r", E5405)
+        # Without an L3, the last-level metric equals total L2 misses.
+        assert r[Metric.L3_MPKI] == pytest.approx(
+            r[Metric.L2D_MPKI] + r[Metric.L2I_MPKI]
+        )
+
+    def test_smaller_l1_misses_more(self):
+        big_l1 = report("548.exchange2_r", get_machine("opteron-2435"))
+        small_l1 = report("548.exchange2_r", SPARC_T4)
+        assert small_l1[Metric.L1D_MPKI] > big_l1[Metric.L1D_MPKI]
+
+    def test_bigger_llc_misses_less(self):
+        small = report("520.omnetpp_r", SKYLAKE)          # 8 MB
+        large = report("520.omnetpp_r", get_machine("xeon-e5-2650v4"))  # 30 MB
+        assert large[Metric.L3_MPKI] <= small[Metric.L3_MPKI]
+
+    def test_mcf_worst_data_cache_in_rate_int(self):
+        from repro.workloads.spec import Suite, workloads_in_suite
+
+        mpki = {
+            s.name: report(s.name)[Metric.L1D_MPKI]
+            for s in workloads_in_suite(Suite.SPEC2017_RATE_INT)
+        }
+        worst3 = sorted(mpki, key=mpki.get, reverse=True)[:3]
+        assert "505.mcf_r" in worst3
+
+
+class TestTlbMetrics:
+    def test_walks_bounded_by_l1_misses(self):
+        r = report()
+        assert r[Metric.PAGE_WALKS_PMI] <= (
+            r[Metric.L1_DTLB_MPMI] + r[Metric.L1_ITLB_MPMI] + 1e-9
+        )
+
+    def test_mcf_dtlb_worse_than_x264(self):
+        assert (
+            report("505.mcf_r")[Metric.L1_DTLB_MPMI]
+            > 10 * report("525.x264_r")[Metric.L1_DTLB_MPMI]
+        )
+
+    def test_sparc_large_pages_reduce_dtlb_pressure_per_entry(self):
+        # 8K pages double per-entry coverage: with the same entry count
+        # the miss *ratio* should not explode relative to 4K pages.
+        r = report("519.lbm_r", SPARC_T4)
+        assert np.isfinite(r[Metric.L1_DTLB_MPMI])
+
+
+class TestBranchMetrics:
+    def test_leela_mispredicts_most_in_rate_int(self):
+        from repro.workloads.spec import Suite, workloads_in_suite
+
+        mpki = {
+            s.name: report(s.name)[Metric.BRANCH_MPKI]
+            for s in workloads_in_suite(Suite.SPEC2017_RATE_INT)
+        }
+        assert max(mpki, key=mpki.get) == "541.leela_r"
+
+    def test_weak_predictor_machines_mispredict_more(self):
+        strong = report("541.leela_r", SKYLAKE)
+        weak = report("541.leela_r", E5405)
+        assert weak[Metric.BRANCH_MPKI] > strong[Metric.BRANCH_MPKI]
+
+    def test_taken_pki_reflects_mix(self):
+        r = report("523.xalancbmk_r")
+        spec = get_workload("523.xalancbmk_r")
+        expected = spec.mix.branch * spec.branches.taken_fraction * 1000
+        assert r[Metric.BRANCH_TAKEN_PKI] == pytest.approx(expected, rel=0.01)
+
+
+class TestMixMetrics:
+    def test_percentages_sum_to_100(self):
+        r = report()
+        total = (
+            r[Metric.PCT_LOAD] + r[Metric.PCT_STORE] + r[Metric.PCT_BRANCH]
+            + r[Metric.PCT_INT] + r[Metric.PCT_FP]
+        )
+        assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_sparc_dilutes_memory_percentages(self):
+        x86 = report("505.mcf_r", SKYLAKE)
+        sparc = report("505.mcf_r", SPARC_T4)
+        assert sparc[Metric.PCT_LOAD] < x86[Metric.PCT_LOAD]
+        assert sparc[Metric.PCT_INT] > x86[Metric.PCT_INT]
+
+    def test_kernel_user_split(self):
+        r = report()
+        assert r[Metric.PCT_KERNEL] + r[Metric.PCT_USER] == pytest.approx(100.0)
+
+
+class TestCpi:
+    def test_calibrated_cpi_matches_table1(self):
+        for workload in ("505.mcf_r", "541.leela_r", "525.x264_r", "649.fotonik3d_s"):
+            spec = get_workload(workload)
+            r = report(workload)
+            assert r[Metric.CPI] == pytest.approx(spec.reference_cpi, rel=0.10)
+
+    def test_memory_bound_cpi_higher_on_slow_memory_machine(self):
+        fast = report("505.mcf_r", SKYLAKE)
+        slow = report("505.mcf_r", E5405)
+        assert slow[Metric.CPI] > fast[Metric.CPI]

@@ -1,0 +1,129 @@
+"""Tests for the suite-balance, power-spectrum and case-study analyses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.workloads.spec2006 import PAPER_UNCOVERED
+
+
+class TestBalance:
+    def test_planes_report_both_suites(self, balance_report):
+        assert balance_report.plane_12.axes == (1, 2)
+        assert balance_report.plane_34.axes == (3, 4)
+        assert balance_report.plane_12.area_2017 > 0
+        assert balance_report.plane_12.area_2006 > 0
+
+    def test_quarter_of_2017_outside_2006_hull(self, balance_report):
+        """Fig 11: more than ~25% of CPU2017 falls outside the CPU2006
+        PC1-PC2 hull."""
+        assert balance_report.plane_12.fraction_2017_outside_2006 >= 0.15
+
+    def test_pc34_coverage_expands(self, balance_report):
+        """Fig 11: CPU2017 covers roughly twice the PC3-PC4 area."""
+        assert balance_report.plane_34.expansion >= 1.5
+
+    def test_uncovered_removed_matches_paper(self, balance_report):
+        """Section V-B: exactly 429.mcf, 445.gobmk and 473.astar remain
+        uncovered after the transition to CPU2017."""
+        assert balance_report.uncovered_removed == tuple(sorted(PAPER_UNCOVERED))
+
+    def test_nn_distances_for_all_removed(self, balance_report):
+        from repro.workloads.spec2006 import REMOVED_IN_2017
+
+        assert set(balance_report.nn_distance) == set(REMOVED_IN_2017)
+        assert all(d >= 0 for d in balance_report.nn_distance.values())
+
+    def test_429_mcf_farthest_removed_benchmark(self, balance_report):
+        farthest = max(
+            balance_report.nn_distance, key=balance_report.nn_distance.get
+        )
+        assert farthest == "429.mcf"
+
+
+class TestPowerSpectrum:
+    def test_power_space_covers_both_suites(self, power_spectrum):
+        assert len(power_spectrum.points) == 43 + 29
+        assert set(power_spectrum.names_2017) | set(power_spectrum.names_2006) == set(
+            power_spectrum.points
+        )
+
+    def test_cpu2017_power_area_larger(self, power_spectrum):
+        """Fig 12: CPU2017 covers a wider power spectrum."""
+        assert power_spectrum.expansion > 1.1
+
+    def test_cpu2017_more_core_power_diversity(self, power_spectrum):
+        """Fig 12: the new compute/SIMD-heavy benchmarks widen the
+        core-power axis."""
+        assert (
+            power_spectrum.core_power_spread_2017
+            > power_spectrum.core_power_spread_2006
+        )
+
+    def test_power_axes_separate_memory_and_core(self, power_spectrum):
+        """Fig 12: one PC is dominated by memory-side power and the
+        other by core power.  (The paper additionally observes CPU2006
+        spreading relatively more along the DRAM axis; our models place
+        CPU2017's streaming FP benchmarks further out on that axis —
+        recorded as a deviation in EXPERIMENTS.md.)"""
+        pc1 = " ".join(power_spectrum.dominant_features(1))
+        pc2 = " ".join(power_spectrum.dominant_features(2))
+        memory_dominated = ("dram_power" in pc1) or ("llc_power" in pc1)
+        assert memory_dominated
+        assert "core_power" in pc2
+
+    def test_dominant_features_queryable(self, power_spectrum):
+        features = power_spectrum.dominant_features(1)
+        assert len(features) == 3
+
+
+class TestCaseStudies:
+    def test_all_emerging_workloads_placed(self, case_study_report):
+        assert set(case_study_report.nearest_cpu2017) == {
+            "175.vpr", "300.twolf", "cas-WA", "cas-WC",
+            "pr-g1", "pr-g2", "cc-g1", "cc-g2",
+        }
+
+    def test_eda_covered_by_mcf(self, case_study_report):
+        """Section V-D: the EDA codes sit close to the CPU2017 mcf."""
+        for name in ("175.vpr", "300.twolf"):
+            nearest, _ = case_study_report.nearest_cpu2017[name]
+            assert "mcf" in nearest
+            assert case_study_report.is_covered(name)
+
+    def test_cassandra_not_covered(self, case_study_report):
+        """Section V-E: the database workloads are far from every
+        CPU2017 benchmark."""
+        for name in ("cas-WA", "cas-WC"):
+            assert not case_study_report.is_covered(name)
+            assert case_study_report.coverage_ratio(name) > 1.5
+
+    def test_pagerank_distinct(self, case_study_report):
+        """Section V-F: pagerank is distinct on both graphs (TLB)."""
+        for name in ("pr-g1", "pr-g2"):
+            assert not case_study_report.is_covered(name)
+
+    def test_connected_components_covered(self, case_study_report):
+        """Section V-F: cc behaves like leela/deepsjeng/xz."""
+        for name in ("cc-g1", "cc-g2"):
+            assert case_study_report.is_covered(name)
+            nearest, _ = case_study_report.nearest_cpu2017[name]
+            family = nearest.split(".")[1].rsplit("_", 1)[0]
+            assert family in ("leela", "deepsjeng", "xz")
+
+    def test_cassandra_farther_than_everything_else(self, case_study_report):
+        ratios = {
+            name: case_study_report.coverage_ratio(name)
+            for name in case_study_report.nearest_cpu2017
+        }
+        cas_min = min(ratios["cas-WA"], ratios["cas-WC"])
+        others = [v for k, v in ratios.items() if not k.startswith("cas")]
+        assert cas_min > max(others)
+
+    def test_coverage_query_validation(self, case_study_report):
+        with pytest.raises(AnalysisError):
+            case_study_report.is_covered("505.mcf_r")
+
+    def test_dendrogram_renders(self, case_study_report):
+        text = case_study_report.similarity.dendrogram().text
+        assert "cas-WA" in text and "505.mcf_r" in text

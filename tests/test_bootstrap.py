@@ -1,0 +1,50 @@
+"""Tests for the bootstrap confidence interval on validation errors."""
+
+import pytest
+
+from repro.core.subsetting import subset_suite
+from repro.core.validation import bootstrap_error_interval, validate_subset
+from repro.errors import AnalysisError
+from repro.workloads.spec import Suite
+
+
+@pytest.fixture(scope="module")
+def validation(profiler):
+    subset = subset_suite(Suite.SPEC2017_RATE_INT, k=3)
+    weights = [len(c) for c in subset.clusters]
+    return validate_subset(
+        Suite.SPEC2017_RATE_INT, subset.subset, weights=weights,
+        profiler=profiler,
+    )
+
+
+class TestBootstrap:
+    def test_interval_brackets_the_mean(self, validation):
+        low, high = bootstrap_error_interval(validation)
+        assert low <= validation.mean_error <= high
+
+    def test_interval_ordered_and_nonnegative(self, validation):
+        low, high = bootstrap_error_interval(validation)
+        assert 0.0 <= low <= high
+
+    def test_wider_confidence_wider_interval(self, validation):
+        narrow = bootstrap_error_interval(validation, confidence=0.5)
+        wide = bootstrap_error_interval(validation, confidence=0.99)
+        assert wide[1] - wide[0] >= narrow[1] - narrow[0]
+
+    def test_deterministic_per_seed(self, validation):
+        assert bootstrap_error_interval(validation, seed=5) == (
+            bootstrap_error_interval(validation, seed=5)
+        )
+
+    def test_parameter_validation(self, validation):
+        with pytest.raises(AnalysisError):
+            bootstrap_error_interval(validation, confidence=1.5)
+        with pytest.raises(AnalysisError):
+            bootstrap_error_interval(validation, draws=0)
+
+    def test_interval_stays_in_accuracy_band(self, validation):
+        """Even the upper confidence bound keeps the paper's >=88%
+        accuracy claim intact for the identified subset."""
+        _low, high = bootstrap_error_interval(validation, confidence=0.95)
+        assert high <= 0.15

@@ -1,0 +1,72 @@
+"""Tests for the CPI calibration against Table I."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.calibration import (
+    REFERENCE_MACHINE,
+    calibrate_spec,
+    calibration_error,
+)
+from repro.workloads.spec import Suite, all_workloads, get_workload, workloads_in_suite
+
+
+class TestCalibration:
+    def test_all_cpu2017_within_twenty_percent(self):
+        for spec in workloads_in_suite(
+            Suite.SPEC2017_RATE_INT,
+            Suite.SPEC2017_SPEED_INT,
+            Suite.SPEC2017_RATE_FP,
+            Suite.SPEC2017_SPEED_FP,
+        ):
+            cpi, error = calibration_error(spec)
+            assert error < 0.20, f"{spec.name}: model {cpi:.2f} vs {spec.reference_cpi}"
+
+    def test_mean_error_small(self):
+        errors = [
+            calibration_error(spec)[1]
+            for spec in all_workloads()
+            if spec.reference_cpi is not None
+        ]
+        assert np.mean(errors) < 0.02
+
+    def test_no_reference_cpi_left_unchanged(self):
+        spec = get_workload("cas-WA")
+        assert spec.reference_cpi is None
+        assert calibration_error(spec) is None
+        assert calibrate_spec(spec) is spec
+
+    def test_calibration_idempotent_shape(self):
+        """Re-calibrating a calibrated spec keeps the CPI on target."""
+        spec = get_workload("505.mcf_r")
+        again = calibrate_spec(spec)
+        _, error = calibration_error(again)
+        assert error < 0.05
+
+    def test_calibration_only_touches_pipeline_parameters(self):
+        spec = get_workload("505.mcf_r")
+        recalibrated = calibrate_spec(spec)
+        assert recalibrated.mix == spec.mix
+        assert recalibrated.data_reuse == spec.data_reuse
+        assert recalibrated.branches == spec.branches
+
+    def test_reference_machine_exists(self):
+        from repro.uarch.machine import get_machine
+
+        assert get_machine(REFERENCE_MACHINE).name == REFERENCE_MACHINE
+
+    def test_table1_cpi_rank_correlation(self):
+        """Beyond absolute errors: the CPI *ordering* of Table I holds."""
+        from scipy.stats import spearmanr
+
+        specs = [
+            s
+            for s in workloads_in_suite(
+                Suite.SPEC2017_RATE_INT, Suite.SPEC2017_RATE_FP
+            )
+            if s.reference_cpi is not None
+        ]
+        published = [s.reference_cpi for s in specs]
+        modelled = [calibration_error(s)[0] for s in specs]
+        rho, _ = spearmanr(published, modelled)
+        assert rho > 0.95

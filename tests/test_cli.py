@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestList:
+    def test_list_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "505.mcf_r" in out
+        assert "cas-WA" in out
+
+    def test_list_suite(self, capsys):
+        assert main(["list", "--suite", "rate-int"]) == 0
+        out = capsys.readouterr().out
+        assert "505.mcf_r" in out
+        assert "cas-WA" not in out
+
+    def test_list_machines(self, capsys):
+        assert main(["list", "--machines"]) == 0
+        out = capsys.readouterr().out
+        assert "Intel Core i7-6700" in out
+        assert "SPARC T4" in out
+
+
+class TestProfile:
+    def test_text_output(self, capsys):
+        assert main(["profile", "505.mcf_r"]) == 0
+        out = capsys.readouterr().out
+        assert "l1d_mpki" in out
+        assert "CPI stack" in out
+
+    def test_json_output(self, capsys):
+        assert main(["profile", "541.leela_r", "sparc-t4", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workload"] == "541.leela_r"
+        assert data["machine"] == "sparc-t4"
+
+    def test_unknown_workload_is_an_error(self, capsys):
+        assert main(["profile", "999.ghost"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSubset:
+    def test_subset(self, capsys):
+        assert main(["subset", "rate-int", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "505.mcf_r" in out
+        assert "reduction" in out
+
+    def test_subset_with_validation(self, capsys):
+        assert main(["subset", "speed-fp", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "mean error" in out
+
+
+class TestAnalyses:
+    def test_dendrogram(self, capsys):
+        assert main(["dendrogram", "speed-int"]) == 0
+        out = capsys.readouterr().out
+        assert "most distinct: 605.mcf_s" in out
+
+    def test_inputsets(self, capsys):
+        assert main(["inputsets", "--category", "int"]) == 0
+        out = capsys.readouterr().out
+        assert "502.gcc_r" in out
+
+    def test_rate_speed(self, capsys):
+        assert main(["rate-speed"]) == 0
+        out = capsys.readouterr().out
+        assert "638.imagick_s" in out
+
+    def test_balance(self, capsys):
+        assert main(["balance"]) == 0
+        out = capsys.readouterr().out
+        assert "429.mcf" in out
+
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        assert "core power spread" in capsys.readouterr().out
+
+    def test_casestudies(self, capsys):
+        assert main(["casestudies"]) == 0
+        out = capsys.readouterr().out
+        assert "cas-WA" in out and "NOT covered" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity", "branch_prediction"]) == 0
+        assert "high:" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_export_csv(self, capsys, tmp_path):
+        out_file = tmp_path / "matrix.csv"
+        assert main(["export", "--suite", "rate-int", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        header = out_file.read_text().splitlines()[0]
+        assert header.startswith("workload,")

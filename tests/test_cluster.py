@@ -1,0 +1,222 @@
+"""Tests for agglomerative clustering, cross-validated against SciPy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.cluster import hierarchy as scipy_hierarchy
+from scipy.spatial.distance import pdist
+
+from repro.errors import AnalysisError
+from repro.stats.cluster import (
+    ClusterTree,
+    Linkage,
+    cut_at_distance,
+    cut_into_clusters,
+    linkage_matrix,
+    representatives,
+)
+from repro.stats.distance import euclidean_distance_matrix
+
+
+def blobs(seed=0, sizes=(5, 5, 5), spread=0.3):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [10, 0], [0, 10]])
+    points = []
+    for center, size in zip(centers, sizes):
+        points.append(center + spread * rng.normal(size=(size, 2)))
+    return np.vstack(points)
+
+
+class TestLinkageMatrix:
+    @pytest.mark.parametrize("method", list(Linkage))
+    def test_shape_and_sizes(self, method):
+        points = blobs()
+        merges = linkage_matrix(points, method=method)
+        n = points.shape[0]
+        assert merges.shape == (n - 1, 4)
+        assert merges[-1, 3] == n  # final merge contains everything
+
+    @pytest.mark.parametrize(
+        "method,scipy_name",
+        [
+            (Linkage.SINGLE, "single"),
+            (Linkage.COMPLETE, "complete"),
+            (Linkage.AVERAGE, "average"),
+            (Linkage.WARD, "ward"),
+        ],
+    )
+    def test_merge_heights_match_scipy(self, method, scipy_name):
+        """Our Lance-Williams implementation must agree with SciPy."""
+        points = blobs(seed=3, sizes=(4, 6, 5))
+        ours = linkage_matrix(points, method=method)
+        theirs = scipy_hierarchy.linkage(points, method=scipy_name)
+        assert np.allclose(np.sort(ours[:, 2]), np.sort(theirs[:, 2]), atol=1e-8)
+
+    @pytest.mark.parametrize("method", list(Linkage))
+    def test_flat_clusters_match_scipy(self, method):
+        points = blobs(seed=7)
+        ours = cut_into_clusters(linkage_matrix(points, method=method), 3)
+        theirs = scipy_hierarchy.fcluster(
+            scipy_hierarchy.linkage(points, method=method.value), 3,
+            criterion="maxclust",
+        )
+        # same partition up to label renaming
+        mapping = {}
+        for mine, scipys in zip(ours, theirs):
+            mapping.setdefault(mine, scipys)
+            assert mapping[mine] == scipys
+
+    def test_precomputed_distances(self):
+        points = blobs()
+        square = euclidean_distance_matrix(points)
+        from_points = linkage_matrix(points, method=Linkage.AVERAGE)
+        from_dist = linkage_matrix(square, method=Linkage.AVERAGE, precomputed=True)
+        assert np.allclose(from_points[:, 2], from_dist[:, 2])
+
+    def test_single_linkage_heights_nondecreasing(self):
+        merges = linkage_matrix(blobs(), method=Linkage.SINGLE)
+        assert (np.diff(merges[:, 2]) >= -1e-9).all()
+
+    def test_requires_two_points(self):
+        with pytest.raises(AnalysisError):
+            linkage_matrix(np.zeros((1, 2)))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_three_blobs_always_recovered(self, seed):
+        points = blobs(seed=seed)
+        assignment = cut_into_clusters(
+            linkage_matrix(points, method=Linkage.AVERAGE), 3
+        )
+        # each blob of 5 points must be one pure cluster
+        for start in (0, 5, 10):
+            assert len(set(assignment[start : start + 5])) == 1
+        assert len(set(assignment)) == 3
+
+
+class TestCuts:
+    def test_cut_at_zero_gives_singletons(self):
+        merges = linkage_matrix(blobs())
+        assignment = cut_at_distance(merges, -1.0)
+        assert len(set(assignment)) == len(assignment)
+
+    def test_cut_at_infinity_gives_one_cluster(self):
+        merges = linkage_matrix(blobs())
+        assignment = cut_at_distance(merges, np.inf)
+        assert len(set(assignment)) == 1
+
+    def test_cut_into_bounds(self):
+        merges = linkage_matrix(blobs())
+        with pytest.raises(AnalysisError):
+            cut_into_clusters(merges, 0)
+        with pytest.raises(AnalysisError):
+            cut_into_clusters(merges, 999)
+
+    def test_cut_into_n_gives_singletons(self):
+        points = blobs()
+        merges = linkage_matrix(points)
+        assignment = cut_into_clusters(merges, points.shape[0])
+        assert len(set(assignment)) == points.shape[0]
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 10])
+    def test_cut_into_exact_count(self, k):
+        merges = linkage_matrix(blobs(seed=11))
+        assignment = cut_into_clusters(merges, k)
+        assert len(set(assignment)) == k
+
+
+class TestRepresentatives:
+    def test_medoid_selected(self):
+        points = np.array([[0.0, 0], [1, 0], [0.5, 0], [10, 10]])
+        distances = euclidean_distance_matrix(points)
+        assignment = np.array([0, 0, 0, 1])
+        labels = ["a", "b", "center", "lonely"]
+        chosen = representatives(assignment, distances, labels)
+        assert chosen == ["center", "lonely"]
+
+    def test_singleton_cluster_is_its_own_representative(self):
+        points = np.array([[0.0, 0], [9, 9]])
+        chosen = representatives(
+            np.array([0, 1]), euclidean_distance_matrix(points), ["x", "y"]
+        )
+        assert chosen == ["x", "y"]
+
+    def test_tie_breaks_lexicographically(self):
+        points = np.array([[0.0, 0], [1, 0]])
+        chosen = representatives(
+            np.array([0, 0]), euclidean_distance_matrix(points), ["zeta", "alpha"]
+        )
+        assert chosen == ["alpha"]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            representatives(np.array([0]), np.zeros((2, 2)), ["a", "b"])
+
+
+class TestClusterTree:
+    def build(self, seed=0):
+        points = blobs(seed=seed)
+        labels = [f"w{i}" for i in range(points.shape[0])]
+        return ClusterTree.from_points(points, labels), points
+
+    def test_label_count_checked(self):
+        with pytest.raises(AnalysisError):
+            ClusterTree(merges=np.zeros((3, 4)), labels=("a", "b"))
+
+    def test_clusters_at_threshold(self):
+        tree, _ = self.build()
+        clusters = tree.clusters_at(2.0)
+        assert len(clusters) == 3
+        assert sum(len(c) for c in clusters) == 15
+
+    def test_clusters_into(self):
+        tree, _ = self.build()
+        assert len(tree.clusters_into(4)) == 4
+
+    def test_leaf_order_is_permutation(self):
+        tree, _ = self.build()
+        assert sorted(tree.leaf_order()) == sorted(tree.labels)
+
+    def test_leaf_order_keeps_blobs_contiguous(self):
+        tree, _ = self.build()
+        order = tree.leaf_order()
+        blocks = [{f"w{i}" for i in range(s, s + 5)} for s in (0, 5, 10)]
+        positions = [sorted(order.index(w) for w in block) for block in blocks]
+        for pos in positions:
+            assert pos == list(range(pos[0], pos[0] + 5))
+
+    def test_cophenetic_distance_matches_scipy(self):
+        points = blobs(seed=4)
+        labels = [f"w{i}" for i in range(points.shape[0])]
+        tree = ClusterTree.from_points(points, labels, Linkage.AVERAGE)
+        scipy_merges = scipy_hierarchy.linkage(points, method="average")
+        cophenetic = scipy_hierarchy.cophenet(scipy_merges)
+        from scipy.spatial.distance import squareform
+
+        square = squareform(cophenetic)
+        for i in (0, 3):
+            for j in (7, 12):
+                assert tree.cophenetic_distance(labels[i], labels[j]) == pytest.approx(
+                    square[i, j], abs=1e-8
+                )
+
+    def test_cophenetic_distance_self_is_zero(self):
+        tree, _ = self.build()
+        assert tree.cophenetic_distance("w0", "w0") == 0.0
+
+    def test_cophenetic_unknown_leaf(self):
+        tree, _ = self.build()
+        with pytest.raises(AnalysisError):
+            tree.cophenetic_distance("w0", "nope")
+
+    def test_most_distinct_leaf_is_outlier(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack([rng.normal(size=(9, 2)), [[40.0, 40.0]]])
+        labels = [f"w{i}" for i in range(9)] + ["outlier"]
+        tree = ClusterTree.from_points(points, labels)
+        assert tree.most_distinct_leaf() == "outlier"
+
+    def test_heights_property(self):
+        tree, _ = self.build()
+        assert tree.heights.shape == (tree.n_leaves - 1,)

@@ -1,0 +1,120 @@
+"""Cross-machine fidelity: the 7-machine methodology must produce the
+machine-dependent variation the paper's analysis relies on."""
+
+import numpy as np
+import pytest
+
+from repro.perf.counters import Metric
+from repro.uarch.machine import PAPER_MACHINE_NAMES, get_machine
+from repro.workloads.spec import Suite, workloads_in_suite
+
+SAMPLE = (
+    "505.mcf_r", "541.leela_r", "525.x264_r", "507.cactubssn_r",
+    "519.lbm_r", "502.gcc_r",
+)
+
+
+@pytest.fixture(scope="module")
+def grid(profiler):
+    """reports[workload][machine]"""
+    return {
+        workload: {
+            machine: profiler.profile(workload, machine)
+            for machine in PAPER_MACHINE_NAMES
+        }
+        for workload in SAMPLE
+    }
+
+
+class TestMachineVariation:
+    def test_every_metric_varies_across_machines(self, grid):
+        """If a metric were machine-invariant, the 140-column matrix
+        would carry redundant blocks; each workload must see real
+        variation in the structural metrics."""
+        for workload, by_machine in grid.items():
+            for metric in (Metric.L1D_MPKI, Metric.CPI):
+                values = [r.metrics[metric] for r in by_machine.values()]
+                assert np.std(values) > 0.01 * (np.mean(values) + 1e-9), (
+                    workload, metric,
+                )
+
+    def test_mix_metrics_differ_only_by_isa(self, grid):
+        """Instruction-mix percentages depend on the ISA path factor
+        only: identical across the x86 machines, diluted on SPARC."""
+        for workload, by_machine in grid.items():
+            x86 = {
+                name: report.metrics[Metric.PCT_LOAD]
+                for name, report in by_machine.items()
+                if get_machine(name).isa == "x86"
+            }
+            assert max(x86.values()) - min(x86.values()) < 1e-9
+            sparc = by_machine["sparc-t4"].metrics[Metric.PCT_LOAD]
+            assert sparc < min(x86.values())
+
+    def test_t4_smallest_l1_misses_most(self, grid):
+        """SPARC T4's 16 KB L1D is the smallest: for L1-pressured
+        workloads it records the highest L1D MPKI (after the ISA path
+        dilution is undone)."""
+        for workload in ("507.cactubssn_r", "519.lbm_r"):
+            by_machine = grid[workload]
+            raw = {
+                name: report.metrics[Metric.L1D_MPKI]
+                * get_machine(name).isa_path_factor
+                for name, report in by_machine.items()
+            }
+            assert max(raw, key=raw.get) == "sparc-t4"
+
+    def test_biggest_llc_misses_least(self, grid):
+        """The Broadwell 30 MB LLC bounds every workload's LLC misses
+        from below across the x86 machines with an L3."""
+        for workload, by_machine in grid.items():
+            with_l3 = {
+                name: report.metrics[Metric.L3_MPKI]
+                for name, report in by_machine.items()
+                if get_machine(name).has_l3 and get_machine(name).isa == "x86"
+            }
+            assert (
+                with_l3["xeon-e5-2650v4"] <= min(with_l3.values()) + 1e-9
+            ), workload
+
+    def test_weak_predictors_hurt_branchy_codes_most(self, grid):
+        """The misprediction gap between the Core2-era Xeon and Skylake
+        must be larger for leela (hard branches) than for x264."""
+        def gap(workload):
+            by_machine = grid[workload]
+            return (
+                by_machine["xeon-e5405"].metrics[Metric.BRANCH_MPKI]
+                - by_machine["skylake-i7-6700"].metrics[Metric.BRANCH_MPKI]
+            )
+
+        assert gap("541.leela_r") > gap("525.x264_r")
+
+    def test_sparc_pages_halve_tlb_reach_effects(self, grid):
+        """8 KB SPARC pages change the TLB picture: the DTLB MPMI on
+        the T4 is not a constant multiple of the Skylake value across
+        workloads (i.e., the machines add information)."""
+        ratios = []
+        for workload, by_machine in grid.items():
+            skylake = by_machine["skylake-i7-6700"].metrics[Metric.L1_DTLB_MPMI]
+            t4 = by_machine["sparc-t4"].metrics[Metric.L1_DTLB_MPMI]
+            if skylake > 100:
+                ratios.append(t4 / skylake)
+        assert len(ratios) >= 3
+        assert np.std(ratios) > 0.1 * np.mean(ratios)
+
+
+class TestSuiteLevelOrdering:
+    def test_mcf_worst_llc_on_every_x86_machine(self, profiler):
+        """mcf's memory character is machine-independent: it records
+        the worst last-level MPKI of the rate INT suite on every
+        machine with an L3."""
+        names = [s.name for s in workloads_in_suite(Suite.SPEC2017_RATE_INT)]
+        for machine in PAPER_MACHINE_NAMES:
+            if not get_machine(machine).has_l3:
+                continue
+            values = {
+                name: profiler.profile(name, machine).metrics[Metric.L3_MPKI]
+                for name in names
+            }
+            top2 = sorted(values, key=values.get, reverse=True)[:2]
+            assert "505.mcf_r" in top2, machine

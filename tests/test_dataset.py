@@ -1,0 +1,87 @@
+"""Tests for feature-matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.perf.counters import BRANCH_METRICS, SIMILARITY_METRICS, Metric
+from repro.perf.dataset import FeatureMatrix, build_feature_matrix
+
+WORKLOADS = ["505.mcf_r", "541.leela_r", "525.x264_r"]
+
+
+@pytest.fixture(scope="module")
+def matrix(profiler):
+    return build_feature_matrix(WORKLOADS, profiler=profiler)
+
+
+class TestBuildFeatureMatrix:
+    def test_shape_is_20_metrics_by_7_machines(self, matrix):
+        assert matrix.values.shape == (3, 20 * 7)
+        assert matrix.n_workloads == 3
+        assert matrix.n_features == 140
+
+    def test_feature_labels_form(self, matrix):
+        assert matrix.features[0] == "l1d_mpki@skylake-i7-6700"
+        assert all("@" in f for f in matrix.features)
+
+    def test_row_lookup(self, matrix):
+        row = matrix.row("505.mcf_r")
+        assert row.shape == (140,)
+        assert matrix.row("505.mcf_r")[0] == matrix.values[0, 0]
+
+    def test_row_unknown_raises(self, matrix):
+        with pytest.raises(AnalysisError):
+            matrix.row("nope")
+
+    def test_metric_subset(self, profiler):
+        small = build_feature_matrix(
+            WORKLOADS, metrics=BRANCH_METRICS, profiler=profiler
+        )
+        assert small.n_features == len(BRANCH_METRICS) * 7
+
+    def test_machine_subset(self, profiler):
+        small = build_feature_matrix(
+            WORKLOADS, machines=["skylake-i7-6700"], profiler=profiler
+        )
+        assert small.n_features == 20
+
+    def test_empty_inputs_rejected(self, profiler):
+        with pytest.raises(AnalysisError):
+            build_feature_matrix([], profiler=profiler)
+        with pytest.raises(AnalysisError):
+            build_feature_matrix(WORKLOADS, machines=[], profiler=profiler)
+
+    def test_values_finite(self, matrix):
+        assert np.isfinite(matrix.values).all()
+
+
+class TestFeatureMatrixOps:
+    def test_standardized_properties(self, matrix):
+        standardized = matrix.standardized()
+        assert np.allclose(standardized.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_subset_preserves_order(self, matrix):
+        sub = matrix.subset(["541.leela_r", "505.mcf_r"])
+        assert sub.workloads == ("541.leela_r", "505.mcf_r")
+        assert np.array_equal(sub.row("505.mcf_r"), matrix.row("505.mcf_r"))
+
+    def test_subset_unknown_raises(self, matrix):
+        with pytest.raises(AnalysisError):
+            matrix.subset(["ghost"])
+
+    def test_select_metrics(self, matrix):
+        sub = matrix.select_metrics([Metric.CPI])
+        assert sub.n_features == 7
+        assert all(f.startswith("cpi@") for f in sub.features)
+
+    def test_select_metrics_empty_raises(self, matrix):
+        class FakeMetric:
+            value = "not_a_metric"
+
+        with pytest.raises(AnalysisError):
+            matrix.select_metrics([FakeMetric()])
+
+    def test_label_shape_validation(self):
+        with pytest.raises(AnalysisError):
+            FeatureMatrix(np.zeros((2, 3)), ("a",), ("x", "y", "z"))

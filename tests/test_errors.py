@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ReproError,
+    UnknownMachineError,
+    UnknownWorkloadError,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (
+            UnknownWorkloadError,
+            UnknownMachineError,
+            ConfigurationError,
+            AnalysisError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(UnknownWorkloadError, KeyError)
+        assert issubclass(UnknownMachineError, KeyError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_analysis_error_is_runtime_error(self):
+        assert issubclass(AnalysisError, RuntimeError)
+
+
+class TestMessages:
+    def test_unknown_workload_message(self):
+        error = UnknownWorkloadError("999.ghost")
+        assert "999.ghost" in str(error)
+        assert error.name == "999.ghost"
+
+    def test_unknown_machine_message(self):
+        error = UnknownMachineError("cray-1")
+        assert "cray-1" in str(error)
+
+    def test_catchable_as_repro_error(self):
+        from repro.workloads.spec import get_workload
+
+        with pytest.raises(ReproError):
+            get_workload("does-not-exist")

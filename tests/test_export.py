@@ -1,0 +1,94 @@
+"""Tests for CSV/JSON export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.dataset import build_feature_matrix
+from repro.reporting.export import (
+    feature_matrix_to_csv,
+    report_to_dict,
+    reports_to_csv,
+    tree_to_dict,
+    write_json,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix(profiler):
+    return build_feature_matrix(
+        ["505.mcf_r", "541.leela_r"], machines=["skylake-i7-6700"],
+        profiler=profiler,
+    )
+
+
+class TestFeatureMatrixCsv:
+    def test_round_trip(self, matrix, tmp_path):
+        path = feature_matrix_to_csv(matrix, tmp_path / "matrix.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["workload", *matrix.features]
+        assert len(rows) == 1 + matrix.n_workloads
+        assert float(rows[1][1]) == pytest.approx(matrix.values[0, 0])
+
+
+class TestReportExport:
+    def test_report_to_dict(self, profiler):
+        report = profiler.profile("505.mcf_r", "skylake-i7-6700")
+        data = report_to_dict(report)
+        assert data["workload"] == "505.mcf_r"
+        assert "l1d_mpki" in data["metrics"]
+        assert "power" in data  # skylake has a power model
+        json.dumps(data)  # serializable
+
+    def test_report_without_power(self, profiler):
+        report = profiler.profile("505.mcf_r", "sparc-t4")
+        data = report_to_dict(report)
+        assert "power" not in data
+
+    def test_reports_to_csv(self, profiler, tmp_path):
+        reports = [
+            profiler.profile(w, "skylake-i7-6700")
+            for w in ("505.mcf_r", "541.leela_r")
+        ]
+        path = reports_to_csv(reports, tmp_path / "reports.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][:2] == ["workload", "machine"]
+        assert len(rows) == 3
+
+    def test_reports_to_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            reports_to_csv([], tmp_path / "x.csv")
+
+
+class TestTreeExport:
+    def test_tree_to_dict_structure(self):
+        import numpy as np
+
+        from repro.stats.cluster import ClusterTree
+
+        points = np.array([[0.0, 0], [0.1, 0], [5, 5], [5.1, 5]])
+        tree = ClusterTree.from_points(points, ["a", "b", "c", "d"])
+        data = tree_to_dict(tree)
+        assert "children" in data
+        leaves = []
+
+        def walk(node):
+            if "name" in node:
+                leaves.append(node["name"])
+            else:
+                assert node["distance"] >= 0
+                for child in node["children"]:
+                    walk(child)
+
+        walk(data)
+        assert sorted(leaves) == ["a", "b", "c", "d"]
+        json.dumps(data)
+
+    def test_write_json(self, tmp_path):
+        path = write_json({"b": 1, "a": 2}, tmp_path / "out.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == {"a": 2, "b": 1}

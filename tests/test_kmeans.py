@@ -1,0 +1,93 @@
+"""Tests for the from-scratch k-means implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.stats.kmeans import kmeans
+
+
+def blobs(seed=0, spread=0.3):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [10, 0], [0, 10]])
+    return np.vstack([c + spread * rng.normal(size=(6, 2)) for c in centers])
+
+
+class TestKMeans:
+    def test_recovers_blobs(self):
+        points = blobs()
+        result = kmeans(points, 3)
+        # each blob pure
+        for start in (0, 6, 12):
+            assert len(set(result.assignment[start : start + 6])) == 1
+        assert len(set(result.assignment)) == 3
+
+    def test_deterministic_per_seed(self):
+        points = blobs(seed=3)
+        first = kmeans(points, 3, seed=11)
+        second = kmeans(points, 3, seed=11)
+        assert np.array_equal(first.assignment, second.assignment)
+
+    def test_k_bounds(self):
+        points = blobs()
+        with pytest.raises(AnalysisError):
+            kmeans(points, 0)
+        with pytest.raises(AnalysisError):
+            kmeans(points, 99)
+
+    def test_k_equals_n(self):
+        points = blobs()
+        result = kmeans(points, points.shape[0])
+        assert len(set(result.assignment)) == points.shape[0]
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_one(self):
+        points = blobs()
+        result = kmeans(points, 1)
+        assert (result.assignment == 0).all()
+        assert np.allclose(result.centroids[0], points.mean(axis=0))
+
+    def test_inertia_decreases_with_k(self):
+        points = blobs(spread=1.0)
+        inertias = [kmeans(points, k).inertia for k in (1, 2, 3, 6)]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_clusters_named(self):
+        points = blobs()
+        labels = [f"w{i}" for i in range(points.shape[0])]
+        groups = kmeans(points, 3).clusters(labels)
+        assert sum(len(g) for g in groups) == 18
+
+    def test_representatives_near_centroids(self):
+        points = blobs()
+        labels = [f"w{i}" for i in range(points.shape[0])]
+        result = kmeans(points, 3)
+        reps = result.representatives(points, labels)
+        assert len(reps) == 3
+        for rep in reps:
+            assert rep in labels
+
+    def test_label_length_checked(self):
+        points = blobs()
+        result = kmeans(points, 3)
+        with pytest.raises(AnalysisError):
+            result.clusters(["too", "few"])
+        with pytest.raises(AnalysisError):
+            result.representatives(points, ["too", "few"])
+
+    def test_requires_2d(self):
+        with pytest.raises(AnalysisError):
+            kmeans(np.zeros(5), 2)
+
+    @given(st.integers(0, 5000), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_invariants(self, seed, k):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(12, 3))
+        result = kmeans(points, k, seed=seed)
+        assert result.assignment.shape == (12,)
+        assert set(result.assignment) <= set(range(k))
+        assert len(set(result.assignment)) == k
+        assert result.inertia >= 0.0

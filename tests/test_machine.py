@@ -1,0 +1,105 @@
+"""Tests for machine configurations (Table IV)."""
+
+import pytest
+
+from repro.errors import UnknownMachineError
+from repro.uarch.machine import (
+    PAPER_MACHINE_NAMES,
+    POWER_MACHINE_NAMES,
+    SENSITIVITY_MACHINE_NAMES,
+    all_machines,
+    get_machine,
+    paper_machines,
+    power_study_machines,
+)
+
+
+class TestRegistry:
+    def test_seven_paper_machines(self):
+        assert len(PAPER_MACHINE_NAMES) == 7
+        assert len(paper_machines()) == 7
+
+    def test_three_power_machines(self):
+        machines = power_study_machines()
+        assert len(machines) == 3
+        assert all(m.power is not None for m in machines)
+
+    def test_power_machines_are_intel(self):
+        for machine in power_study_machines():
+            assert machine.isa == "x86"
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(UnknownMachineError):
+            get_machine("cray-1")
+
+    def test_lookup_round_trip(self):
+        for name in PAPER_MACHINE_NAMES:
+            assert get_machine(name).name == name
+
+    def test_sensitivity_machines_subset_of_paper(self):
+        assert set(SENSITIVITY_MACHINE_NAMES) <= set(PAPER_MACHINE_NAMES)
+        assert len(SENSITIVITY_MACHINE_NAMES) == 4
+
+
+class TestTableIVGeometry:
+    """The machines must match Table IV's published geometry."""
+
+    def test_three_isas_represented(self):
+        isas = {m.isa for m in all_machines()}
+        assert isas == {"x86", "sparc"}
+        # two distinct x86 vendors stand in for the third ISA dimension
+        assert any("opteron" in m.name for m in all_machines())
+
+    def test_skylake(self):
+        m = get_machine("skylake-i7-6700")
+        assert m.l1d.size_bytes == 32 << 10
+        assert m.last_level_cache.size_bytes == 8 << 20
+        assert m.frequency_ghz == pytest.approx(3.4)
+
+    def test_broadwell_llc_30mb(self):
+        m = get_machine("xeon-e5-2650v4")
+        assert m.last_level_cache.size_bytes == 30 << 20
+
+    def test_ivybridge_llc_15mb(self):
+        m = get_machine("xeon-e5-2430v2")
+        assert m.last_level_cache.size_bytes == 15 << 20
+
+    def test_e5405_has_no_l3(self):
+        m = get_machine("xeon-e5405")
+        assert m.l3 is None
+        assert m.last_level_cache is m.l2
+        assert m.l2.size_bytes == 6 << 20
+
+    def test_sparc_v490(self):
+        m = get_machine("sparc-iv-v490")
+        assert m.isa == "sparc"
+        assert m.l1d.size_bytes == 64 << 10
+        assert m.l3.size_bytes == 32 << 20
+
+    def test_sparc_t4_small_l1(self):
+        m = get_machine("sparc-t4")
+        assert m.l1d.size_bytes == 16 << 10
+        assert m.l3.size_bytes == 4 << 20
+
+    def test_opteron(self):
+        m = get_machine("opteron-2435")
+        assert m.l1d.size_bytes == 64 << 10
+        assert m.l1d.associativity == 2
+        assert m.l2.size_bytes == 512 << 10
+        assert m.l3.size_bytes == 6 << 20
+
+    def test_sparc_machines_use_8k_pages(self):
+        for name in ("sparc-iv-v490", "sparc-t4"):
+            assert get_machine(name).dtlb.page_bytes == 8192
+
+    def test_sparc_path_factor_above_one(self):
+        for name in ("sparc-iv-v490", "sparc-t4"):
+            assert get_machine(name).isa_path_factor > 1.0
+
+    def test_summary_mentions_description(self):
+        for machine in all_machines():
+            assert machine.description in machine.summary()
+
+    def test_machine_diversity_in_llc(self):
+        sizes = {m.last_level_cache.size_bytes for m in all_machines()}
+        assert len(sizes) >= 5  # the point of the 7-machine methodology

@@ -1,0 +1,137 @@
+"""Tests for the from-scratch PCA (validated against first principles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import AnalysisError
+from repro.stats.pca import fit_pca
+
+
+def random_matrix(n=30, m=8, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(n, 3))
+    mixing = rng.normal(size=(3, m))
+    return base @ mixing + 0.05 * rng.normal(size=(n, m))
+
+
+class TestFitPca:
+    def test_eigenvalues_descending(self):
+        pca = fit_pca(random_matrix())
+        diffs = np.diff(pca.eigenvalues)
+        assert (diffs <= 1e-9).all()
+
+    def test_variance_ratio_sums_to_one(self):
+        pca = fit_pca(random_matrix())
+        assert pca.explained_variance_ratio.sum() == pytest.approx(1.0)
+
+    def test_three_latent_factors_detected(self):
+        # Data generated from 3 factors: ~3 components explain ~all variance.
+        pca = fit_pca(random_matrix())
+        assert pca.cumulative_variance(3) > 0.97
+
+    def test_kaiser_keeps_strong_components_only(self):
+        pca = fit_pca(random_matrix())
+        kept = pca.eigenvalues[: pca.kaiser_components]
+        assert (kept >= 1.0).all() or pca.kaiser_components == 1
+
+    def test_scores_are_uncorrelated(self):
+        pca = fit_pca(random_matrix(n=200, m=10, seed=3))
+        scores = pca.scores[:, :4]
+        covariance = np.cov(scores.T)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diagonal).max() < 0.05 * np.abs(np.diag(covariance)).max()
+
+    def test_scores_shape_bounded_by_samples(self):
+        pca = fit_pca(random_matrix(n=5, m=40))
+        assert pca.scores.shape == (5, 4)  # at most n-1 components
+
+    def test_loadings_are_unit_vectors(self):
+        pca = fit_pca(random_matrix())
+        norms = np.linalg.norm(pca.loadings, axis=1)
+        assert norms == pytest.approx(np.ones_like(norms), abs=1e-8)
+
+    def test_deterministic_sign_convention(self):
+        first = fit_pca(random_matrix(seed=5))
+        second = fit_pca(random_matrix(seed=5))
+        assert np.allclose(first.loadings, second.loadings)
+
+    def test_projection_reconstructs_standardized_data(self):
+        matrix = random_matrix(n=50, m=6, seed=2)
+        pca = fit_pca(matrix)
+        from repro.stats.preprocess import standardize
+
+        reconstructed = pca.scores @ pca.loadings
+        assert np.allclose(reconstructed, standardize(matrix), atol=1e-6)
+
+    def test_dominant_features_requires_labels(self):
+        pca = fit_pca(random_matrix())
+        with pytest.raises(AnalysisError):
+            pca.dominant_features(1)
+
+    def test_dominant_features_finds_planted_feature(self):
+        rng = np.random.default_rng(0)
+        matrix = 0.01 * rng.normal(size=(40, 5))
+        matrix[:, 2] += rng.normal(size=40) * 10  # dominant variance source
+        labels = tuple("abcde")
+        pca = fit_pca(matrix, feature_labels=labels)
+        assert pca.dominant_features(1, top=1)[0] == "c"
+
+    def test_cumulative_variance_bounds(self):
+        pca = fit_pca(random_matrix())
+        with pytest.raises(AnalysisError):
+            pca.cumulative_variance(0)
+        with pytest.raises(AnalysisError):
+            pca.cumulative_variance(999)
+
+    def test_retained_scores_bounds(self):
+        pca = fit_pca(random_matrix())
+        with pytest.raises(AnalysisError):
+            pca.retained_scores(0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(AnalysisError):
+            fit_pca(np.ones((1, 4)))
+
+    def test_needs_2d(self):
+        with pytest.raises(AnalysisError):
+            fit_pca(np.ones(4))
+
+    def test_label_length_checked(self):
+        with pytest.raises(AnalysisError):
+            fit_pca(random_matrix(m=8), feature_labels=("a",))
+
+    def test_constant_columns_tolerated(self):
+        matrix = random_matrix()
+        matrix[:, 0] = 7.0
+        pca = fit_pca(matrix)
+        assert np.isfinite(pca.scores).all()
+
+    @given(
+        arrays(
+            np.float64,
+            (12, 5),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_eigenvalues_nonnegative_for_any_input(self, matrix):
+        matrix = matrix + np.random.default_rng(0).normal(size=matrix.shape) * 1e-6
+        pca = fit_pca(matrix)
+        assert (pca.eigenvalues >= -1e-9).all()
+        assert 1 <= pca.kaiser_components <= pca.n_components
+
+    def test_matches_numpy_svd_variances(self):
+        """Cross-check eigenvalues against an SVD-based PCA."""
+        matrix = random_matrix(n=60, m=7, seed=9)
+        from repro.stats.preprocess import standardize
+
+        data = standardize(matrix)
+        singular = np.linalg.svd(data, compute_uv=False)
+        svd_eigenvalues = (singular ** 2) / data.shape[0]
+        pca = fit_pca(matrix)
+        assert np.allclose(
+            pca.eigenvalues, svd_eigenvalues[: pca.n_components], atol=1e-8
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for the top-down CPI-stack model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.uarch.pipeline import CpiStack, MemoryLatencies, compute_cpi_stack
+
+LAT = MemoryLatencies(l2=12, l3=40, memory=200, page_walk=30)
+
+
+def stack(**overrides):
+    kwargs = dict(
+        width=4.0,
+        ilp=4.0,
+        mlp=2.0,
+        latencies=LAT,
+        mispredict_penalty=15.0,
+        l1d_mpki=10.0,
+        l2d_mpki=4.0,
+        l3_mpki=1.0,
+        l1i_mpki=1.0,
+        l2i_mpki=0.1,
+        branch_mpki=3.0,
+        dtlb_walks_pmi=100.0,
+        itlb_walks_pmi=10.0,
+    )
+    kwargs.update(overrides)
+    return compute_cpi_stack(**kwargs)
+
+
+class TestMemoryLatencies:
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLatencies(l2=50, l3=40, memory=200)
+        with pytest.raises(ConfigurationError):
+            MemoryLatencies(l2=12, l3=40, memory=30)
+
+
+class TestCpiStack:
+    def test_total_is_sum_of_components(self):
+        s = stack()
+        total = (
+            s.base + s.dependency + s.frontend + s.bad_speculation
+            + s.backend_l2 + s.backend_l3 + s.backend_memory + s.backend_tlb
+        )
+        assert s.total == pytest.approx(total)
+
+    def test_ideal_machine_cpi_is_inverse_width(self):
+        s = stack(
+            l1d_mpki=0, l2d_mpki=0, l3_mpki=0, l1i_mpki=0, l2i_mpki=0,
+            branch_mpki=0, dtlb_walks_pmi=0, itlb_walks_pmi=0,
+        )
+        assert s.total == pytest.approx(0.25)
+
+    def test_low_ilp_adds_dependency_stalls(self):
+        bound = stack(ilp=1.0)
+        free = stack(ilp=4.0)
+        assert bound.dependency > 0
+        assert free.dependency == pytest.approx(0.0)
+        assert bound.total > free.total
+
+    def test_sub_unity_ilp_allowed(self):
+        s = stack(ilp=0.8)
+        assert s.base + s.dependency == pytest.approx(1.25)
+
+    def test_higher_mlp_hides_memory_latency(self):
+        serial = stack(mlp=1.0)
+        parallel = stack(mlp=4.0)
+        assert parallel.backend < serial.backend
+        assert parallel.bad_speculation == serial.bad_speculation
+
+    def test_branch_misses_cost_penalty(self):
+        s = stack(branch_mpki=10.0)
+        assert s.bad_speculation == pytest.approx(10.0 / 1000 * 15.0)
+
+    def test_memory_attribution_by_level(self):
+        s = stack(l1d_mpki=10, l2d_mpki=4, l3_mpki=1, mlp=1.0)
+        assert s.backend_l2 == pytest.approx(6 / 1000 * 12)
+        assert s.backend_l3 == pytest.approx(3 / 1000 * 40)
+        assert s.backend_memory == pytest.approx(1 / 1000 * 200)
+
+    def test_mpki_monotonicity_clamped(self):
+        # l2d > l1d is physically impossible; the model clamps.
+        s = stack(l1d_mpki=2.0, l2d_mpki=5.0, l3_mpki=1.0)
+        assert s.backend_l2 >= 0.0
+        assert s.backend_l3 >= 0.0
+
+    def test_fractions_sum_to_one(self):
+        fractions = stack().fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_paper_categories(self):
+        s = stack()
+        assert s.frontend_bound == pytest.approx(s.frontend + s.bad_speculation)
+        assert s.other == pytest.approx(s.dependency)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            stack(width=0.5)
+        with pytest.raises(ConfigurationError):
+            stack(ilp=0.2)
+        with pytest.raises(ConfigurationError):
+            stack(mlp=0.5)
+
+    @given(
+        l1d=st.floats(0, 100),
+        l2d=st.floats(0, 50),
+        l3=st.floats(0, 20),
+        branch=st.floats(0, 20),
+        mlp=st.floats(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_cpi_positive_and_bounded(self, l1d, l2d, l3, branch, mlp):
+        s = stack(l1d_mpki=l1d, l2d_mpki=l2d, l3_mpki=l3, branch_mpki=branch, mlp=mlp)
+        assert s.total >= 0.25
+        assert s.total < 100
+
+    @given(st.floats(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_more_l3_misses_never_faster(self, l3_mpki):
+        lo = stack(l3_mpki=0.0, l2d_mpki=max(0.0, l3_mpki))
+        hi = stack(l3_mpki=l3_mpki, l2d_mpki=max(4.0, l3_mpki))
+        assert hi.total >= lo.total - 1e-9

@@ -1,0 +1,85 @@
+"""Unit tests for the RAPL-style power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.power import PowerModel, PowerSample
+
+MODEL = PowerModel(
+    core_static_watts=8.0,
+    energy_per_instruction_nj=0.8,
+    energy_per_fp_nj=1.2,
+    energy_per_simd_nj=2.4,
+    llc_static_watts=1.0,
+    energy_per_llc_access_nj=4.0,
+    dram_static_watts=2.0,
+    energy_per_dram_access_nj=20.0,
+)
+
+
+def sample(**overrides):
+    kwargs = dict(
+        frequency_ghz=3.0,
+        cpi=1.0,
+        fp_fraction=0.0,
+        simd_fraction=0.0,
+        llc_accesses_per_ki=1.0,
+        dram_accesses_per_ki=0.5,
+    )
+    kwargs.update(overrides)
+    return MODEL.sample(**kwargs)
+
+
+class TestPowerModel:
+    def test_static_floor(self):
+        s = sample(cpi=1000.0, llc_accesses_per_ki=0, dram_accesses_per_ki=0)
+        assert s.core_watts == pytest.approx(8.0, rel=0.01)
+        assert s.llc_watts == pytest.approx(1.0, rel=0.01)
+        assert s.dram_watts == pytest.approx(2.0, rel=0.01)
+
+    def test_higher_ipc_burns_more_core_power(self):
+        fast = sample(cpi=0.4)
+        slow = sample(cpi=1.2)
+        assert fast.core_watts > slow.core_watts
+
+    def test_fp_work_costs_more_than_int(self):
+        scalar = sample(fp_fraction=0.0)
+        fp = sample(fp_fraction=0.4)
+        assert fp.core_watts > scalar.core_watts
+
+    def test_simd_work_costs_more_than_scalar_fp(self):
+        fp = sample(fp_fraction=0.4, simd_fraction=0.0)
+        simd = sample(fp_fraction=0.4, simd_fraction=0.4)
+        assert simd.core_watts > fp.core_watts
+
+    def test_llc_power_scales_with_traffic(self):
+        quiet = sample(llc_accesses_per_ki=0.1)
+        busy = sample(llc_accesses_per_ki=20.0)
+        assert busy.llc_watts > quiet.llc_watts
+
+    def test_dram_power_scales_with_misses(self):
+        quiet = sample(dram_accesses_per_ki=0.0)
+        busy = sample(dram_accesses_per_ki=5.0)
+        assert busy.dram_watts > quiet.dram_watts
+
+    def test_frequency_scales_dynamic_power(self):
+        slow = sample(frequency_ghz=1.0)
+        fast = sample(frequency_ghz=4.0)
+        assert fast.core_watts > slow.core_watts
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            sample(cpi=0.0)
+        with pytest.raises(ConfigurationError):
+            sample(frequency_ghz=-1.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(core_static_watts=-1.0)
+
+
+class TestPowerSample:
+    def test_aggregates(self):
+        s = PowerSample(core_watts=10.0, llc_watts=2.0, dram_watts=3.0)
+        assert s.package_watts == pytest.approx(12.0)
+        assert s.total_watts == pytest.approx(15.0)

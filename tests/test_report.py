@@ -1,0 +1,57 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.reporting.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text(tmp_path_factory, profiler):
+    path = generate_report(
+        tmp_path_factory.mktemp("report") / "REPORT.md", profiler=profiler
+    )
+    return path.read_text()
+
+
+class TestGenerateReport:
+    def test_header_cites_the_paper(self, report_text):
+        assert "Wait of a Decade" in report_text
+        assert "HPCA 2018" in report_text
+
+    def test_all_sections_present(self, report_text):
+        for section in (
+            "## CPI calibration",
+            "## Representative subsets",
+            "## Representative input sets",
+            "## Suite balance",
+            "## Power spectrum",
+            "## Emerging workloads",
+        ):
+            assert section in report_text, section
+
+    def test_subset_table_contains_anchors(self, report_text):
+        assert "505.mcf_r" in report_text
+        assert "507.cactubssn_r" in report_text
+
+    def test_input_sets_match_count_reported(self, report_text):
+        assert "/10 match the paper" in report_text
+
+    def test_uncovered_benchmarks_listed(self, report_text):
+        for name in ("429.mcf", "445.gobmk", "473.astar"):
+            assert name in report_text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        lines = report_text.splitlines()
+        for i, line in enumerate(lines):
+            if set(line.replace(" ", "")) == {"|", "-"} and line.startswith("|"):
+                # separator row: the header above must have the same
+                # number of columns
+                assert lines[i - 1].count("|") == line.count("|")
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "R.md"
+        assert main(["report", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "Reproduction report" in out_file.read_text()

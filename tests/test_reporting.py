@@ -1,0 +1,116 @@
+"""Tests for the text table / figure rendering helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import (
+    BarSeries,
+    ScatterSeries,
+    Table,
+    format_float,
+    render_scatter,
+)
+
+
+class TestFormatFloat:
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_trims_trailing_zeros(self):
+        assert format_float(1.50) == "1.5"
+        assert format_float(2.00) == "2"
+
+    def test_large_values_scientific(self):
+        assert "e" in format_float(123456.0)
+
+    def test_tiny_values_scientific(self):
+        assert "e" in format_float(0.00001)
+
+    def test_precision(self):
+        assert format_float(1.23456, precision=4) == "1.2346"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row(["alpha", 1])
+        table.add_row(["b", 123456])
+        lines = table.render().splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title_included(self):
+        table = Table(["a"], title="My Title")
+        table.add_row([1])
+        assert table.render().startswith("My Title")
+
+    def test_none_rendered_as_dash(self):
+        table = Table(["a"])
+        table.add_row([None])
+        assert "-" in table.render().splitlines()[-1]
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row([1])
+
+    def test_n_rows(self):
+        table = Table(["a"])
+        table.add_row([1])
+        table.add_row([2])
+        assert table.n_rows == 2
+
+    def test_str_is_render(self):
+        table = Table(["a"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+    def test_float_formatting_in_cells(self):
+        table = Table(["x"], precision=1)
+        table.add_row([3.14159])
+        assert "3.1" in table.render()
+
+
+class TestScatterSeries:
+    def test_from_dict(self):
+        series = ScatterSeries.from_dict("s", {"a": (1.0, 2.0)})
+        assert series.points == (("a", 1.0, 2.0),)
+        assert series.xs.tolist() == [1.0]
+        assert series.ys.tolist() == [2.0]
+
+
+class TestBarSeries:
+    def test_values(self):
+        series = BarSeries("s", (("a", 1.0), ("b", 2.0)))
+        assert series.values.tolist() == [1.0, 2.0]
+
+
+class TestRenderScatter:
+    def test_renders_legend_and_frame(self):
+        series = ScatterSeries.from_dict("one", {"a": (0, 0), "b": (1, 1)})
+        text = render_scatter([series])
+        assert "one" in text
+        assert text.count("+") >= 4  # frame corners
+
+    def test_multiple_series_distinct_markers(self):
+        first = ScatterSeries.from_dict("first", {"a": (0, 0)})
+        second = ScatterSeries.from_dict("second", {"b": (1, 1)})
+        text = render_scatter([first, second])
+        assert "o = first" in text
+        assert "x = second" in text
+
+    def test_degenerate_single_point(self):
+        series = ScatterSeries.from_dict("s", {"a": (5.0, 5.0)})
+        text = render_scatter([series])
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_scatter([])
+        with pytest.raises(ConfigurationError):
+            render_scatter([ScatterSeries("s", ())])
+
+    def test_axis_ranges_printed(self):
+        series = ScatterSeries.from_dict("s", {"a": (-2, 3), "b": (4, -1)})
+        text = render_scatter([series], x_label="PCx", y_label="PCy")
+        assert "PCx" in text and "PCy" in text
+        assert "-2.00" in text and "4.00" in text

@@ -1,0 +1,79 @@
+"""Tests for the SimPoint-style interval analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.simpoints import find_simpoints
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return find_simpoints("541.leela_r", instructions=100_000,
+                          interval_instructions=5_000)
+
+
+class TestFindSimpoints:
+    def test_weights_sum_to_one(self, analysis):
+        total = sum(point.weight for point in analysis.simpoints)
+        assert total == pytest.approx(1.0)
+
+    def test_intervals_in_range(self, analysis):
+        for point in analysis.simpoints:
+            assert 0 <= point.interval < analysis.n_intervals
+
+    def test_speedup_matches_phase_count(self, analysis):
+        assert analysis.speedup == pytest.approx(
+            analysis.n_intervals / analysis.n_phases
+        )
+
+    def test_stationary_workload_has_few_phases(self, analysis):
+        """Our workload models are statistically stationary, so phase
+        detection must not hallucinate many phases."""
+        assert analysis.n_phases <= 3
+
+    def test_assignment_covers_all_intervals(self, analysis):
+        assert analysis.phase_assignment.shape == (analysis.n_intervals,)
+
+    def test_estimate_weighted_average(self, analysis):
+        values = np.arange(analysis.n_intervals, dtype=float)
+        estimate = analysis.estimate(values)
+        assert 0 <= estimate <= analysis.n_intervals
+
+    def test_estimate_constant_signal_exact(self, analysis):
+        values = np.full(analysis.n_intervals, 7.5)
+        assert analysis.estimate(values) == pytest.approx(7.5)
+
+    def test_estimate_shape_checked(self, analysis):
+        with pytest.raises(AnalysisError):
+            analysis.estimate(np.zeros(3))
+
+    def test_deterministic(self):
+        first = find_simpoints("505.mcf_r", instructions=60_000,
+                               interval_instructions=5_000, seed=3)
+        second = find_simpoints("505.mcf_r", instructions=60_000,
+                                interval_instructions=5_000, seed=3)
+        assert first.simpoints == second.simpoints
+
+    def test_too_few_intervals_rejected(self):
+        with pytest.raises(AnalysisError):
+            find_simpoints("505.mcf_r", instructions=10_000,
+                           interval_instructions=10_000)
+
+    def test_estimates_stationary_cpi_signal(self):
+        """End-to-end: simpoint-weighted per-interval mispredict rates
+        match the full-window rate for a stationary workload."""
+        from repro.workloads.spec import get_workload
+        from repro.workloads.synthesis import synthesize_trace
+
+        analysis = find_simpoints("541.leela_r", instructions=100_000,
+                                  interval_instructions=5_000)
+        trace = synthesize_trace(get_workload("541.leela_r"), 100_000, seed=2017)
+        per_interval = np.array([
+            chunk.mean()
+            for chunk in np.array_split(
+                trace.branch_taken.astype(float), analysis.n_intervals
+            )
+        ])
+        estimate = analysis.estimate(per_interval)
+        assert estimate == pytest.approx(per_interval.mean(), abs=0.05)

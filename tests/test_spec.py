@@ -1,0 +1,141 @@
+"""Tests for WorkloadSpec, input variants and the registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownWorkloadError
+from repro.workloads.spec import (
+    InputSetSpec,
+    Suite,
+    all_workloads,
+    get_workload,
+    workloads_in_suite,
+)
+
+
+class TestSuite:
+    def test_cpu2017_flags(self):
+        assert Suite.SPEC2017_RATE_INT.is_cpu2017
+        assert Suite.SPEC2017_RATE_INT.is_integer
+        assert Suite.SPEC2017_RATE_INT.is_rate
+        assert not Suite.SPEC2017_RATE_INT.is_speed
+        assert Suite.SPEC2017_SPEED_FP.is_floating_point
+        assert Suite.SPEC2006_INT.is_cpu2006
+        assert not Suite.SPEC2006_INT.is_cpu2017
+
+
+class TestRegistry:
+    def test_counts_per_suite(self):
+        expected = {
+            Suite.SPEC2017_SPEED_INT: 10,
+            Suite.SPEC2017_RATE_INT: 10,
+            Suite.SPEC2017_SPEED_FP: 10,
+            Suite.SPEC2017_RATE_FP: 13,
+            Suite.SPEC2006_INT: 12,
+            Suite.SPEC2006_FP: 17,
+            Suite.SPEC2000_EDA: 2,
+            Suite.EMERGING_DATABASE: 2,
+            Suite.EMERGING_GRAPH: 4,
+        }
+        for suite, count in expected.items():
+            assert len(workloads_in_suite(suite)) == count, suite
+
+    def test_total_workload_count(self):
+        assert len(all_workloads()) == 80
+
+    def test_cpu2017_has_43_benchmarks(self):
+        cpu2017 = workloads_in_suite(
+            Suite.SPEC2017_SPEED_INT,
+            Suite.SPEC2017_RATE_INT,
+            Suite.SPEC2017_SPEED_FP,
+            Suite.SPEC2017_RATE_FP,
+        )
+        assert len(cpu2017) == 43
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_workload("999.nonexistent")
+
+    def test_lookup_round_trip(self):
+        for spec in all_workloads():
+            assert get_workload(spec.name) is spec
+
+    def test_sorted_output(self):
+        names = [s.name for s in all_workloads()]
+        assert names == sorted(names)
+
+
+class TestWorkloadSpec:
+    def test_label_strips_numeric_id(self):
+        assert get_workload("505.mcf_r").label == "mcf_r"
+        assert get_workload("cas-WA").label == "cas-WA"
+
+    def test_page_profiles_compress_distances(self):
+        spec = get_workload("505.mcf_r")
+        line_median = spec.data_reuse.components[0].median
+        page_median = spec.data_page_reuse.components[0].median
+        assert page_median == pytest.approx(line_median / spec.data_page_factor)
+
+    def test_rate_partner_symmetry(self):
+        rate = get_workload("505.mcf_r")
+        speed = get_workload("605.mcf_s")
+        assert rate.rate_partner == speed.name
+        assert speed.rate_partner == rate.name
+
+    def test_base_name_strips_input_suffix(self):
+        variant = get_workload("502.gcc_r").input_variant(2)
+        assert variant.base_name == "502.gcc_r"
+        assert variant.name == "502.gcc_r#2"
+
+
+class TestInputVariants:
+    def test_single_input_returns_self(self):
+        spec = get_workload("505.mcf_r")
+        assert spec.input_variants() == [spec]
+        assert not spec.has_multiple_inputs
+
+    def test_gcc_has_five_inputs(self):
+        spec = get_workload("502.gcc_r")
+        assert len(spec.input_variants()) == 5
+        assert spec.has_multiple_inputs
+
+    def test_unknown_input_index_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("502.gcc_r").input_variant(9)
+
+    def test_variant_scaling_changes_locality(self):
+        spec = get_workload("502.gcc_r")
+        small = spec.input_variant(5)   # data_scale < 1
+        large = spec.input_variant(3)   # data_scale > 1
+        assert small.data_reuse.miss_ratio(512) < large.data_reuse.miss_ratio(512)
+
+    def test_variant_branch_shift_clamped(self):
+        variant = get_workload("502.gcc_r").input_variant(4)
+        for cls in variant.branches.classes:
+            assert 0.5 <= cls.bias <= 1.0
+
+    def test_variant_mix_stays_normalized(self):
+        variant = get_workload("502.gcc_r").input_variant(3)
+        mix = variant.mix
+        total = mix.load + mix.store + mix.branch + mix.int_alu + mix.fp + mix.other
+        assert total == pytest.approx(1.0)
+
+    def test_variants_have_no_nested_inputs(self):
+        variant = get_workload("502.gcc_r").input_variant(1)
+        assert variant.input_sets == ()
+
+    def test_duplicate_input_indices_rejected(self):
+        from dataclasses import replace
+
+        spec = get_workload("502.gcc_r")
+        with pytest.raises(ConfigurationError):
+            replace(spec, input_sets=(InputSetSpec(1), InputSetSpec(1)))
+
+
+class TestInputSetSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InputSetSpec(0)
+        with pytest.raises(ConfigurationError):
+            InputSetSpec(1, weight=0.0)
+        with pytest.raises(ConfigurationError):
+            InputSetSpec(1, data_scale=-1.0)

@@ -1,0 +1,196 @@
+"""Data-integrity tests over every registered benchmark model.
+
+These verify that the models encode the paper's published facts:
+Table I instruction counts and mixes, input-set multiplicities, the
+rate/speed pairing, and the emerging-workload signatures.
+"""
+
+import math
+
+import pytest
+
+from repro.workloads.spec import Suite, all_workloads, get_workload, workloads_in_suite
+from repro.workloads.spec2006 import PAPER_UNCOVERED, REMOVED_IN_2017, RETAINED_IN_2017
+from repro.workloads.spec2017 import RATE_SPEED_PAIRS
+
+ALL = all_workloads()
+
+# Table I spot checks: (name, icount billions, loads %, stores %, branches %).
+TABLE_I_ROWS = [
+    ("600.perlbench_s", 2696, 27.20, 16.73, 18.16),
+    ("602.gcc_s", 7226, 40.32, 15.67, 15.60),
+    ("605.mcf_s", 1775, 18.55, 4.70, 12.53),
+    ("625.x264_s", 12546, 37.21, 10.27, 4.59),
+    ("657.xz_s", 8264, 13.34, 4.73, 8.21),
+    ("505.mcf_r", 999, 17.42, 6.08, 11.54),
+    ("523.xalancbmk_r", 1315, 34.26, 8.07, 33.26),
+    ("541.leela_r", 2246, 14.28, 5.33, 8.95),
+    ("603.bwaves_s", 66395, 31.00, 4.42, 13.00),
+    ("607.cactubssn_s", 10976, 43.87, 9.50, 1.80),
+    ("638.imagick_s", 66788, 18.16, 0.46, 9.30),
+    ("507.cactubssn_r", 1322, 43.62, 9.53, 1.97),
+    ("549.fotonik3d_r", 1288, 39.12, 12.07, 2.52),
+    ("554.roms_r", 2609, 34.57, 7.57, 6.73),
+]
+
+
+@pytest.mark.parametrize("name,icount,loads,stores,branches", TABLE_I_ROWS)
+def test_table1_facts_encoded(name, icount, loads, stores, branches):
+    spec = get_workload(name)
+    assert spec.icount_billions == pytest.approx(icount)
+    assert spec.mix.load * 100 == pytest.approx(loads, abs=0.01)
+    assert spec.mix.store * 100 == pytest.approx(stores, abs=0.01)
+    assert spec.mix.branch * 100 == pytest.approx(branches, abs=0.01)
+
+
+@pytest.mark.parametrize("spec", ALL, ids=lambda s: s.name)
+class TestEverySpec:
+    def test_mix_normalized(self, spec):
+        mix = spec.mix
+        total = mix.load + mix.store + mix.branch + mix.int_alu + mix.fp + mix.other
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_locality_profiles_valid(self, spec):
+        assert spec.data_reuse.miss_ratio(512) >= 0.0
+        assert spec.inst_reuse.miss_ratio(512) >= 0.0
+
+    def test_pipeline_parameters_in_range(self, spec):
+        assert 0.5 <= spec.ilp <= 6.0
+        assert 1.0 <= spec.mlp <= 32.0
+
+    def test_page_factors_physical(self, spec):
+        assert 1.0 <= spec.data_page_factor <= 64.0
+        assert 1.0 <= spec.inst_page_factor <= 64.0
+
+    def test_footprint_positive(self, spec):
+        assert spec.footprint_mb > 0
+
+    def test_branch_taken_fraction_physical(self, spec):
+        assert 0.3 <= spec.branches.taken_fraction <= 0.95
+
+
+class TestRateSpeedPairing:
+    def test_pairs_well_formed(self):
+        for rate, speed in RATE_SPEED_PAIRS:
+            rate_spec, speed_spec = get_workload(rate), get_workload(speed)
+            assert rate_spec.suite.is_rate
+            assert speed_spec.suite.is_speed
+            assert rate_spec.label.rsplit("_", 1)[0] == speed_spec.label.rsplit("_", 1)[0]
+
+    def test_pair_count(self):
+        # 10 INT pairs and 9 FP pairs (508/510/511/526 are rate-only,
+        # 628.pop2_s is speed-only).
+        assert len(RATE_SPEED_PAIRS) == 19
+
+    def test_rate_only_benchmarks(self):
+        for name in ("508.namd_r", "510.parest_r", "511.povray_r", "526.blender_r"):
+            assert get_workload(name).rate_partner is None
+
+    def test_speed_icounts_at_least_rate(self):
+        # Speed inputs are larger or equal; perlbench/leela/exchange2 are
+        # the same size (per Table I).
+        for rate, speed in RATE_SPEED_PAIRS:
+            assert (
+                get_workload(speed).icount_billions
+                >= get_workload(rate).icount_billions * 0.99
+            )
+
+    def test_fp_speed_to_rate_icount_ratio_high(self):
+        """The paper: speed/rate icount ratio ~8x for FP, ~2x for INT."""
+        ratios_fp, ratios_int = [], []
+        for rate, speed in RATE_SPEED_PAIRS:
+            ratio = get_workload(speed).icount_billions / get_workload(rate).icount_billions
+            if get_workload(rate).suite.is_floating_point:
+                ratios_fp.append(ratio)
+            else:
+                ratios_int.append(ratio)
+        assert 5.0 <= sum(ratios_fp) / len(ratios_fp) <= 12.0
+        assert 1.2 <= sum(ratios_int) / len(ratios_int) <= 3.5
+
+
+class TestInputSetData:
+    @pytest.mark.parametrize(
+        "name,count",
+        [
+            ("500.perlbench_r", 3),
+            ("502.gcc_r", 5),
+            ("525.x264_r", 3),
+            ("557.xz_r", 2),
+            ("503.bwaves_r", 2),
+            ("603.bwaves_s", 2),
+            ("403.gcc", 5),
+        ],
+    )
+    def test_multi_input_benchmarks(self, name, count):
+        assert len(get_workload(name).input_variants()) == count
+
+    def test_cpu2006_gcc_inputs_spread_more_than_cpu2017(self):
+        """The paper contrasts CPU2017 gcc's homogeneous inputs with the
+        pronounced variation of the CPU2006 gcc inputs."""
+
+        def spread(name):
+            variants = get_workload(name).input_variants()
+            ratios = [v.data_reuse.miss_ratio(4096) for v in variants]
+            return max(ratios) - min(ratios)
+
+        assert spread("403.gcc") > 2.0 * spread("502.gcc_r")
+
+
+class TestCpu2006Metadata:
+    def test_removed_and_retained_partition(self):
+        removed = set(REMOVED_IN_2017)
+        retained = set(RETAINED_IN_2017)
+        assert not removed & retained
+        all_2006 = {
+            s.name for s in workloads_in_suite(Suite.SPEC2006_INT, Suite.SPEC2006_FP)
+        }
+        assert removed | retained <= all_2006
+
+    def test_paper_uncovered_are_removed(self):
+        assert set(PAPER_UNCOVERED) <= set(REMOVED_IN_2017)
+
+    def test_retained_successors_exist(self):
+        for successor in RETAINED_IN_2017.values():
+            assert get_workload(successor).suite.is_cpu2017
+
+    def test_2006_int_branchier_than_2017_int(self):
+        """Phansalkar 2007 / the paper: CPU2006 INT averages ~20%
+        branches, CPU2017 INT <= 15%."""
+
+        def mean_branch(*suites):
+            specs = workloads_in_suite(*suites)
+            return sum(s.mix.branch for s in specs) / len(specs)
+
+        b2006 = mean_branch(Suite.SPEC2006_INT)
+        b2017 = mean_branch(Suite.SPEC2017_RATE_INT, Suite.SPEC2017_SPEED_INT)
+        assert b2006 > 0.17
+        assert b2017 < 0.15
+
+
+class TestEmergingSignatures:
+    def test_cassandra_instruction_side_pressure(self):
+        """Scale-out signature: large I-footprint, terrible I-page locality."""
+        cas = get_workload("cas-WA")
+        spec_max = max(
+            s.inst_reuse.miss_ratio(512)
+            for s in workloads_in_suite(
+                Suite.SPEC2017_RATE_INT, Suite.SPEC2017_RATE_FP
+            )
+        )
+        assert cas.inst_reuse.miss_ratio(512) > 3.0 * spec_max
+        assert cas.inst_page_factor < 4.0
+
+    def test_pagerank_random_page_access(self):
+        for name in ("pr-g1", "pr-g2"):
+            assert get_workload(name).data_page_factor < 2.0
+
+    def test_cc_lighter_than_pagerank(self):
+        cc = get_workload("cc-g1")
+        pr = get_workload("pr-g1")
+        assert cc.data_reuse.miss_ratio(4096) < pr.data_reuse.miss_ratio(4096)
+
+    def test_eda_pointer_chasing(self):
+        for name in ("175.vpr", "300.twolf"):
+            spec = get_workload(name)
+            assert spec.data_page_factor < 4.0
+            assert spec.domain == "EDA"
