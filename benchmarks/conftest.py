@@ -4,12 +4,19 @@ Every bench regenerates one table or figure of the paper.  Benches run
 under ``pytest benchmarks/ --benchmark-only``; each prints the
 reproduced rows/series (visible with ``-s``) and asserts the paper's
 qualitative shape.
+
+Observability: each timed run executes with the obs layer enabled, and
+its span tree plus metrics snapshot are attached to the benchmark's
+``extra_info`` — so the timing JSON produced with ``--benchmark-json``
+carries stage-level attribution (where inside the pipeline the time
+went), not just a single wall-clock number.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.perf.profiler import Profiler
 
 
@@ -24,10 +31,24 @@ def run_once(benchmark):
 
     The analyses are deterministic and internally cached, so repeated
     timing rounds would only measure the cache; one cold round is the
-    meaningful number.
+    meaningful number.  The run is observed: its span tree and metric
+    snapshot land in ``benchmark.extra_info["obs"]``.
     """
 
     def runner(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        obs.metrics.reset()
+        obs.enable()
+        try:
+            result = benchmark.pedantic(
+                fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
+        finally:
+            obs.disable()
+        benchmark.extra_info["obs"] = {
+            "spans": [root.to_dict() for root in obs.finished_roots()],
+            "metrics": obs.snapshot(),
+        }
+        obs.reset()
+        return result
 
     return runner

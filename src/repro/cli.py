@@ -13,6 +13,10 @@ Exposes the paper's analyses as ``repro`` subcommands::
     repro casestudies
     repro sensitivity l1_dtlb
     repro export --suite rate-int --out matrix.csv
+
+Every subcommand accepts ``--obs {off,summary,json}`` and
+``--trace-out FILE`` (Chrome-trace export); ``repro obs-report``
+pretty-prints the manifest of the last observed run.
 """
 
 from __future__ import annotations
@@ -38,6 +42,31 @@ SUITE_ALIASES = {
     "graph": Suite.EMERGING_GRAPH,
 }
 
+#: The four CPU2017 sub-suites that have Table V subsets, spelled out
+#: explicitly (deriving them by slicing sorted aliases was fragile).
+SPEC2017_SUBSUITE_ALIASES = ("rate-int", "rate-fp", "speed-int", "speed-fp")
+
+_OBS_MODES = ("off", "summary", "json")
+
+
+def _obs_options() -> argparse.ArgumentParser:
+    """Shared ``--obs`` / ``--trace-out`` options for every subcommand."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "--obs",
+        choices=_OBS_MODES,
+        default="off",
+        help="instrumentation output: off (default), summary, or json",
+    )
+    group.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a chrome://tracing / Perfetto trace file",
+    )
+    return common
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser with all subcommands."""
@@ -49,14 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    obs_options = [_obs_options()]
 
-    list_parser = sub.add_parser("list", help="list workloads and machines")
+    def add_parser(name: str, **kwargs):
+        return sub.add_parser(name, parents=obs_options, **kwargs)
+
+    list_parser = add_parser("list", help="list workloads and machines")
     list_parser.add_argument("--suite", choices=sorted(SUITE_ALIASES))
     list_parser.add_argument(
         "--machines", action="store_true", help="list machines instead"
     )
 
-    profile_parser = sub.add_parser("profile", help="profile one workload")
+    profile_parser = add_parser("profile", help="profile one workload")
     profile_parser.add_argument("workload")
     profile_parser.add_argument("machine", nargs="?", default="skylake-i7-6700")
     profile_parser.add_argument(
@@ -64,29 +97,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile_parser.add_argument("--json", action="store_true")
 
-    subset_parser = sub.add_parser("subset", help="select a benchmark subset")
-    subset_parser.add_argument("suite", choices=sorted(SUITE_ALIASES)[:4] + [
-        "rate-fp", "rate-int", "speed-fp", "speed-int"
-    ])
+    subset_parser = add_parser("subset", help="select a benchmark subset")
+    subset_parser.add_argument("suite", choices=SPEC2017_SUBSUITE_ALIASES)
     subset_parser.add_argument("-k", type=int, default=3)
     subset_parser.add_argument("--validate", action="store_true")
 
-    dendro_parser = sub.add_parser("dendrogram", help="sub-suite dendrogram")
+    dendro_parser = add_parser("dendrogram", help="sub-suite dendrogram")
     dendro_parser.add_argument("suite", choices=sorted(SUITE_ALIASES))
 
-    inputs_parser = sub.add_parser(
+    inputs_parser = add_parser(
         "inputsets", help="representative input sets (Table VII)"
     )
     inputs_parser.add_argument(
         "--category", choices=("int", "fp"), default="int"
     )
 
-    sub.add_parser("rate-speed", help="rate vs speed comparison (Sec IV-D)")
-    sub.add_parser("balance", help="CPU2017 vs CPU2006 coverage (Fig 11)")
-    sub.add_parser("power", help="power-spectrum comparison (Fig 12)")
-    sub.add_parser("casestudies", help="EDA/database/graph case studies (Fig 13)")
+    add_parser("rate-speed", help="rate vs speed comparison (Sec IV-D)")
+    add_parser("balance", help="CPU2017 vs CPU2006 coverage (Fig 11)")
+    add_parser("power", help="power-spectrum comparison (Fig 12)")
+    add_parser("casestudies", help="EDA/database/graph case studies (Fig 13)")
 
-    sensitivity_parser = sub.add_parser(
+    sensitivity_parser = add_parser(
         "sensitivity", help="cross-machine sensitivity (Table IX)"
     )
     sensitivity_parser.add_argument(
@@ -94,15 +125,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("branch_prediction", "l1_dcache", "l1_dtlb"),
     )
 
-    report_parser = sub.add_parser(
+    report_parser = add_parser(
         "report", help="run the full reproduction, write a Markdown report"
     )
     report_parser.add_argument("--out", default="REPORT.md")
 
-    export_parser = sub.add_parser("export", help="export a feature matrix")
+    export_parser = add_parser("export", help="export a feature matrix")
     export_parser.add_argument("--suite", choices=sorted(SUITE_ALIASES),
                                default="rate-int")
     export_parser.add_argument("--out", required=True)
+
+    obs_report_parser = add_parser(
+        "obs-report", help="pretty-print the last observed run's manifest"
+    )
+    obs_report_parser.add_argument(
+        "--dir", default=None,
+        help="manifest directory (default: $REPRO_OBS_DIR or .repro-obs)",
+    )
     return parser
 
 
@@ -140,7 +179,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
         from repro.reporting.export import report_to_dict
 
-        print(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
+        data = report_to_dict(report)
+        data["cache_info"] = profiler.cache_info()._asdict()
+        print(json.dumps(data, indent=2, sort_keys=True))
         return 0
     print(f"{report.workload} on {report.machine} ({args.engine} engine)")
     for metric, value in report.metrics.items():
@@ -270,6 +311,49 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import load_last_manifest, render_manifest
+
+    manifest = load_last_manifest(args.dir)
+    print(render_manifest(manifest))
+    return 0
+
+
+def _finish_obs(args: argparse.Namespace, argv: Sequence[str]) -> None:
+    """Emit span trees, metrics, the manifest and the trace file."""
+    from repro import obs
+
+    obs.disable()
+    roots = obs.finished_roots()
+    snapshot = obs.snapshot()
+    mode = getattr(args, "obs", "off")
+    if mode == "summary":
+        print("--- obs: span tree " + "-" * 41)
+        print(obs.export.render_span_tree(roots))
+        rendered = obs.export.render_metrics(snapshot)
+        if rendered:
+            print("--- obs: metrics " + "-" * 43)
+            print(rendered)
+    elif mode == "json":
+        print(obs.export.spans_to_jsonl(roots, snapshot))
+    if mode != "off":
+        manifest = obs.manifest.build_manifest(
+            args.command,
+            list(argv),
+            roots,
+            snapshot,
+            engine=getattr(args, "engine", None),
+            suite=getattr(args, "suite", None),
+            k=getattr(args, "k", None),
+        )
+        path = obs.manifest.write_manifest(manifest)
+        print(f"--- obs: manifest written to {path}")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        path = obs.export.write_chrome_trace(trace_out, roots, snapshot)
+        print(f"--- obs: chrome trace written to {path}")
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "profile": _cmd_profile,
@@ -283,18 +367,39 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "report": _cmd_report,
     "export": _cmd_export,
+    "obs-report": _cmd_obs_report,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    With ``--obs off`` (the default) and no ``--trace-out``, the
+    observability layer is never enabled and output is identical to an
+    uninstrumented build.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    observed = (
+        getattr(args, "obs", "off") != "off"
+        or getattr(args, "trace_out", None)
+    )
+    if observed:
+        from repro import obs
+
+        obs.metrics.reset()
+        obs.enable()
+        root = obs.span(f"repro.{args.command}")
+        root.__enter__()
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if observed:
+            root.__exit__(None, None, None)
+            _finish_obs(args, argv if argv is not None else sys.argv[1:])
 
 
 if __name__ == "__main__":

@@ -18,6 +18,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import AnalysisError, ConfigurationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.progress import progress as obs_progress
+from repro.obs.trace import span
 from repro.perf.counters import Metric
 from repro.perf.profiler import Profiler
 from repro.stats.scoring import geometric_mean
@@ -142,19 +145,37 @@ def evaluate_design_space(
     if not specs:
         raise AnalysisError("need at least one workload")
 
-    base_cpi = {
-        spec.name: profiler.profile(spec, variants[0].machine).metrics[Metric.CPI]
-        for spec in specs
-    }
-    speedups: Dict[str, float] = {}
-    per_benchmark: Dict[str, Dict[str, float]] = {}
-    for variant in variants[1:]:
-        bench_speedups = {}
+    with span(
+        "designspace.evaluate",
+        variants=len(variants),
+        workloads=len(specs),
+    ):
+        # The sweep profiles every (variant, workload) pair; report
+        # stage completion so the long pre-silicon studies are visible.
+        ticker = obs_progress(
+            "designspace.sweep", total=len(variants) * len(specs)
+        )
+        base_cpi = {}
         for spec in specs:
-            cpi = profiler.profile(spec, variant.machine).metrics[Metric.CPI]
-            bench_speedups[spec.name] = base_cpi[spec.name] / cpi
-        per_benchmark[variant.name] = bench_speedups
-        speedups[variant.name] = geometric_mean(bench_speedups.values())
+            base_cpi[spec.name] = profiler.profile(
+                spec, variants[0].machine
+            ).metrics[Metric.CPI]
+            ticker.advance()
+        speedups: Dict[str, float] = {}
+        per_benchmark: Dict[str, Dict[str, float]] = {}
+        for variant in variants[1:]:
+            with span("designspace.variant", variant=variant.name):
+                bench_speedups = {}
+                for spec in specs:
+                    cpi = profiler.profile(
+                        spec, variant.machine
+                    ).metrics[Metric.CPI]
+                    bench_speedups[spec.name] = base_cpi[spec.name] / cpi
+                    ticker.advance()
+            per_benchmark[variant.name] = bench_speedups
+            speedups[variant.name] = geometric_mean(bench_speedups.values())
+            obs_metrics.incr("designspace.variant_evals")
+        ticker.close()
     return DesignEvaluation(
         baseline=variants[0].name,
         workloads=tuple(spec.name for spec in specs),
@@ -175,8 +196,9 @@ def subset_design_fidelity(
         raise AnalysisError(f"subset not contained in the suite: {missing}")
     variants = list(variants) if variants is not None else standard_design_space()
     profiler = profiler or Profiler()
-    full = evaluate_design_space(all_workloads, variants, profiler=profiler)
-    partial = evaluate_design_space(subset, variants, profiler=profiler)
+    with span("designspace.fidelity", subset_k=len(subset)):
+        full = evaluate_design_space(all_workloads, variants, profiler=profiler)
+        partial = evaluate_design_space(subset, variants, profiler=profiler)
 
     names = sorted(full.speedups)
     full_values = np.array([full.speedups[n] for n in names])

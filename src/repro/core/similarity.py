@@ -13,6 +13,7 @@ from typing import Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs.trace import span
 from repro.perf.counters import SIMILARITY_METRICS, Metric
 from repro.perf.dataset import FeatureMatrix, build_feature_matrix
 from repro.perf.profiler import Profiler
@@ -109,21 +110,24 @@ def analyze_similarity(
     n_components:
         Number of PCs to keep; ``None`` applies the Kaiser criterion.
     """
-    matrix = build_feature_matrix(
-        workloads, machines=machines, metrics=metrics, profiler=profiler
-    )
-    values, labels = drop_constant_columns(matrix.values, matrix.features)
-    pca = fit_pca(values, labels)
+    with span("similarity.profile"):
+        matrix = build_feature_matrix(
+            workloads, machines=machines, metrics=metrics, profiler=profiler
+        )
+    with span("similarity.pca"):
+        values, labels = drop_constant_columns(matrix.values, matrix.features)
+        pca = fit_pca(values, labels)
     k = n_components if n_components is not None else pca.kaiser_components
     if not 1 <= k <= pca.n_components:
         raise AnalysisError(
             f"n_components must be in [1, {pca.n_components}], got {k}"
         )
-    scores = pca.retained_scores(k)
-    distances = euclidean_distance_matrix(scores)
-    tree = ClusterTree(
-        merges=_linkage(scores, linkage), labels=matrix.workloads
-    )
+    with span("similarity.cluster", n_components=k, linkage=linkage.value):
+        scores = pca.retained_scores(k)
+        distances = euclidean_distance_matrix(scores)
+        tree = ClusterTree(
+            merges=_linkage(scores, linkage), labels=matrix.workloads
+        )
     return SimilarityResult(
         matrix=matrix,
         pca=pca,

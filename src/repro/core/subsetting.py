@@ -14,6 +14,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.similarity import SimilarityResult, analyze_similarity
 from repro.errors import AnalysisError
+from repro.obs.trace import span
 from repro.stats.cluster import Linkage
 from repro.workloads.spec import Suite, WorkloadSpec, get_workload, workloads_in_suite
 
@@ -71,12 +72,13 @@ def select_subset(similarity: SimilarityResult, k: int) -> SubsetResult:
     n = similarity.tree.n_leaves
     if not 1 <= k <= n:
         raise AnalysisError(f"k must be in [1, {n}], got {k}")
-    clusters = similarity.tree.clusters_into(k)
-    subset = similarity.representatives_for(k)
-    heights = similarity.tree.heights
-    # The cut sits between the (n-k)th and (n-k+1)th merge heights.
-    threshold = float(heights[n - k - 1]) if k < n else 0.0
-    reduction = _time_reduction(similarity.workloads, subset)
+    with span("subset.select", k=k, n=n):
+        clusters = similarity.tree.clusters_into(k)
+        subset = similarity.representatives_for(k)
+        heights = similarity.tree.heights
+        # The cut sits between the (n-k)th and (n-k+1)th merge heights.
+        threshold = float(heights[n - k - 1]) if k < n else 0.0
+        reduction = _time_reduction(similarity.workloads, subset)
     return SubsetResult(
         subset=tuple(subset),
         clusters=tuple(tuple(c) for c in clusters),

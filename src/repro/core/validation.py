@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.specdb import CommercialSystem, published_speedups
 from repro.errors import AnalysisError
+from repro.obs.trace import span
 from repro.perf.profiler import Profiler
 from repro.stats.scoring import (
     geometric_mean,
@@ -87,23 +88,27 @@ def validate_subset(
         raise AnalysisError(f"subset benchmarks not in {suite}: {unknown}")
     if weights is not None and len(weights) != len(subset):
         raise AnalysisError("weights must match the subset length")
-    scores = published_speedups(names, systems=systems, profiler=profiler)
-    validations: List[SystemValidation] = []
-    for system_name, speedups in scores.items():
-        full = geometric_mean(speedups.values())
-        values = [speedups[b] for b in subset]
-        if weights is not None:
-            partial = weighted_geometric_mean(values, weights)
-        else:
-            partial = geometric_mean(values)
-        validations.append(
-            SystemValidation(
-                system=system_name,
-                full_score=full,
-                subset_score=partial,
-                error=relative_error(partial, full),
+    with span(
+        "validate.subset", suite=suite.value, k=len(subset)
+    ) as validate_span:
+        scores = published_speedups(names, systems=systems, profiler=profiler)
+        validate_span.set(systems=len(scores))
+        validations: List[SystemValidation] = []
+        for system_name, speedups in scores.items():
+            full = geometric_mean(speedups.values())
+            values = [speedups[b] for b in subset]
+            if weights is not None:
+                partial = weighted_geometric_mean(values, weights)
+            else:
+                partial = geometric_mean(values)
+            validations.append(
+                SystemValidation(
+                    system=system_name,
+                    full_score=full,
+                    subset_score=partial,
+                    error=relative_error(partial, full),
+                )
             )
-        )
     return ValidationResult(
         suite=suite, subset=tuple(subset), systems=tuple(validations)
     )

@@ -1,0 +1,81 @@
+"""Observability for the reproduction pipeline.
+
+A lightweight, dependency-free instrumentation layer threaded through
+every pipeline stage (profiling, PCA, clustering, subsetting,
+validation, design-space exploration):
+
+* :mod:`repro.obs.trace` — nested, thread-safe spans with wall/CPU
+  time and attributes; ``@instrument`` decorator; injectable clock.
+* :mod:`repro.obs.metrics` — named counters / gauges / histograms with
+  a deterministic snapshot API.
+* :mod:`repro.obs.progress` — bounded heartbeats for long sweeps.
+* :mod:`repro.obs.export` — console, JSON-lines and Chrome-trace
+  (``chrome://tracing`` / Perfetto) rendering.
+* :mod:`repro.obs.manifest` — per-run manifests attributing every
+  reproduced figure/table to an exact invocation.
+
+Everything is off by default and zero-cost when off: disabled call
+sites reduce to a single branch (see DESIGN.md, "Observability").
+Enable programmatically::
+
+    from repro import obs
+
+    obs.enable()
+    ...                      # run analyses
+    print(obs.export.render_span_tree(obs.finished_roots()))
+
+or from the CLI with ``repro <command> --obs summary``.
+"""
+
+from repro.obs import export, manifest, metrics, progress, trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    incr,
+    observe,
+    set_gauge,
+    snapshot,
+)
+from repro.obs.progress import Progress, progress as make_progress
+from repro.obs.trace import (
+    Clock,
+    Span,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    finished_roots,
+    instrument,
+    instrumented_functions,
+    reset,
+    span,
+)
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Progress",
+    "Span",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "export",
+    "finished_roots",
+    "incr",
+    "instrument",
+    "instrumented_functions",
+    "make_progress",
+    "manifest",
+    "metrics",
+    "observe",
+    "progress",
+    "reset",
+    "set_gauge",
+    "snapshot",
+    "span",
+    "trace",
+]

@@ -1,0 +1,268 @@
+"""Named counters, gauges and histograms for the profiling pipeline.
+
+Instruments such as ``profiler.cache.hit`` or
+``cluster.distance_evals`` are created on demand from a process-wide
+registry and aggregated across threads::
+
+    from repro.obs import metrics
+
+    metrics.incr("profiler.cache.miss")          # gated on obs enabled
+    hits = metrics.counter("profiler.cache.hit") # always-live handle
+    hits.add()
+
+Two usage tiers, matching the zero-cost-when-off contract:
+
+* The module-level helpers :func:`incr`, :func:`observe` and
+  :func:`set_gauge` are **gated**: while observability is disabled they
+  return immediately after one branch, touching no locks or dicts.
+* Instrument objects obtained from :func:`counter` / :func:`gauge` /
+  :func:`histogram` are **always live**, for features that must work
+  regardless of mode (e.g. ``Profiler.cache_info()``).  A mutation is
+  one lock acquire plus an arithmetic update.
+
+:func:`snapshot` renders the registry as a plain, deterministic,
+JSON-serializable dict for export and manifests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.obs import trace as _trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "incr",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "reset",
+]
+
+
+class Counter:
+    """A monotonically increasing, thread-safe numeric total."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter (negative amounts are rejected)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The accumulated total."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (test/run-boundary hook)."""
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A thread-safe last-value-wins instrument."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The most recently recorded level."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the gauge (test/run-boundary hook)."""
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Thread-safe summary statistics of observed values.
+
+    Keeps count / sum / min / max (hence mean), which is what the
+    exporters and manifests report; full distributions are out of scope
+    for a dependency-free layer.
+    """
+
+    __slots__ = ("name", "_lock", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """The statistics as a plain dict."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+    def reset(self) -> None:
+        """Drop all observations (test/run-boundary hook)."""
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.minimum = None
+            self.maximum = None
+
+
+class MetricsRegistry:
+    """Create-on-demand store of named instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if new)."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if new)."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created if new)."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def snapshot(self) -> dict:
+        """All instruments as a sorted, JSON-serializable dict."""
+        with self._lock:
+            counters = {n: c.value for n, c in sorted(self._counters.items())}
+            gauges = {n: g.value for n, g in sorted(self._gauges.items())}
+            histograms = {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (instrument handles stay valid)."""
+        with self._lock:
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for instrument in instruments:
+            instrument.reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """An always-live counter handle from the process registry."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """An always-live gauge handle from the process registry."""
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """An always-live histogram handle from the process registry."""
+    return _REGISTRY.histogram(name)
+
+
+def incr(name: str, amount: float = 1.0) -> None:
+    """Increment a registry counter; no-op while obs is disabled."""
+    if not _trace.enabled():
+        return
+    _REGISTRY.counter(name).add(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a registry gauge; no-op while obs is disabled."""
+    if not _trace.enabled():
+        return
+    _REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation; no-op while obs is disabled."""
+    if not _trace.enabled():
+        return
+    _REGISTRY.histogram(name).observe(value)
+
+
+def snapshot() -> dict:
+    """Snapshot of the process registry."""
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Zero every instrument in the process registry."""
+    _REGISTRY.reset()

@@ -1,0 +1,96 @@
+"""Progress heartbeats for long sweeps (the 80x7 study driver).
+
+Long loops — the full workload x machine profiling sweep, the
+design-space evaluation — report completion through a
+:class:`Progress` handle::
+
+    ticker = progress("profile-sweep", total=len(specs) * len(machines))
+    for ...:
+        ticker.advance()
+    ticker.close()
+
+While observability is disabled (the default) and no hook is installed,
+every call is a single-branch no-op, so instrumented loops cost nothing
+in normal library use.  When enabled, heartbeats go to an injectable
+hook (``set_heartbeat_hook``) or, by default, to ``stderr`` at most
+every 10% of the total, so an 80x7 sweep prints ~10 lines rather than
+560.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional
+
+from repro.obs import trace as _trace
+
+__all__ = ["Progress", "progress", "set_heartbeat_hook"]
+
+#: Hook signature: (label, done, total) -> None.
+HeartbeatHook = Callable[[str, int, int], None]
+
+_HOOK: Optional[HeartbeatHook] = None
+
+
+def set_heartbeat_hook(hook: Optional[HeartbeatHook]) -> None:
+    """Install (or clear, with ``None``) the heartbeat destination.
+
+    An installed hook receives heartbeats even while tracing is
+    disabled, which is how the benchmark harness and tests observe
+    progress deterministically.
+    """
+    global _HOOK
+    _HOOK = hook
+
+
+def _default_heartbeat(label: str, done: int, total: int) -> None:
+    sys.stderr.write(f"[obs] {label}: {done}/{total}\n")
+
+
+class Progress:
+    """A heartbeat emitter for one named loop.
+
+    Emits at most ``ticks`` heartbeats spread evenly over ``total``
+    steps (plus the final one), keeping output bounded regardless of
+    loop length.  Not thread-safe per instance; each loop owns its own
+    handle.
+    """
+
+    __slots__ = ("label", "total", "done", "_next_emit", "_step")
+
+    def __init__(self, label: str, total: int, ticks: int = 10) -> None:
+        self.label = label
+        self.total = max(int(total), 0)
+        self.done = 0
+        ticks = max(int(ticks), 1)
+        self._step = max(self.total // ticks, 1)
+        self._next_emit = self._step
+
+    def advance(self, amount: int = 1) -> None:
+        """Record ``amount`` completed steps, emitting when due."""
+        if _HOOK is None and not _trace.enabled():
+            self.done += amount
+            return
+        self.done += amount
+        if self.done >= self._next_emit or self.done >= self.total:
+            while self._next_emit <= self.done:
+                self._next_emit += self._step
+            self._emit()
+
+    def close(self) -> None:
+        """Emit a final heartbeat if the loop ended between ticks."""
+        if _HOOK is None and not _trace.enabled():
+            return
+        self._emit()
+
+    def _emit(self) -> None:
+        hook = _HOOK
+        if hook is not None:
+            hook(self.label, self.done, self.total)
+        elif _trace.enabled():
+            _default_heartbeat(self.label, self.done, self.total)
+
+
+def progress(label: str, total: int, ticks: int = 10) -> Progress:
+    """A :class:`Progress` handle for a loop of ``total`` steps."""
+    return Progress(label, total, ticks=ticks)

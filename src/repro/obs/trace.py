@@ -1,0 +1,293 @@
+"""Thread-safe span tracing for the profiling pipeline.
+
+A *span* is a named, timed region of execution with attached
+attributes::
+
+    with span("profile", workload="505.mcf_r", machine="skylake-i7-6700"):
+        ...
+
+Spans nest: a span opened while another is active on the same thread
+becomes its child, so a full run produces a forest of span trees (one
+root per top-level region per thread).  Each span records wall time and
+CPU (process) time plus arbitrary key/value attributes.
+
+Design constraints (see DESIGN.md, "Observability"):
+
+* **Zero cost when off.**  Tracing is disabled by default; ``span()``
+  then returns a shared no-op context manager and ``@instrument``-ed
+  functions take an early-exit path that adds one attribute load and
+  one branch.  No clock is read, no object is allocated.
+* **Deterministic in tests.**  The wall/CPU clocks are injectable via
+  :class:`Clock`, so span trees (and the manifests derived from them)
+  can be made byte-for-byte reproducible.
+* **Thread safe.**  Every thread keeps its own span stack; finished
+  root spans are appended to a process-wide list under a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Clock",
+    "Span",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "span",
+    "current_span",
+    "finished_roots",
+    "instrument",
+    "instrumented_functions",
+]
+
+
+class Clock:
+    """An injectable pair of monotonic wall/CPU time sources.
+
+    The default reads :func:`time.perf_counter` and
+    :func:`time.process_time`.  Tests inject deterministic callables to
+    make span timings (and everything derived from them) reproducible.
+    """
+
+    def __init__(
+        self,
+        wall: Callable[[], float] = time.perf_counter,
+        cpu: Callable[[], float] = time.process_time,
+    ) -> None:
+        self.wall = wall
+        self.cpu = cpu
+
+
+class Span:
+    """One timed, attributed region; a node of the span tree."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "wall_start",
+        "wall_end",
+        "cpu_start",
+        "cpu_end",
+        "children",
+        "thread_id",
+    )
+
+    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.wall_start = 0.0
+        self.wall_end = 0.0
+        self.cpu_start = 0.0
+        self.cpu_end = 0.0
+        self.children: List["Span"] = []
+        self.thread_id = 0
+
+    @property
+    def wall_time(self) -> float:
+        """Elapsed wall-clock seconds inside the span."""
+        return self.wall_end - self.wall_start
+
+    @property
+    def cpu_time(self) -> float:
+        """Elapsed process-CPU seconds inside the span."""
+        return self.cpu_end - self.cpu_start
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach (or overwrite) attributes on the live span."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """The span and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (times in seconds, nested children)."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "wall_start": self.wall_start,
+            "wall_time": self.wall_time,
+            "cpu_time": self.cpu_time,
+            "thread_id": self.thread_id,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, wall={self.wall_time:.6f}s, "
+            f"children={len(self.children)})"
+        )
+
+
+class _State:
+    """Process-wide tracer state."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.clock = Clock()
+        self.lock = threading.Lock()
+        self.roots: List[Span] = []
+        self.local = threading.local()
+
+    def stack(self) -> List[Span]:
+        stack = getattr(self.local, "stack", None)
+        if stack is None:
+            stack = []
+            self.local.stack = stack
+        return stack
+
+
+_STATE = _State()
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        return None
+
+    def set(self, **_attributes: object) -> "_NullSpan":
+        """No-op attribute setter (keeps call sites unconditional)."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager that opens/closes one real :class:`Span`."""
+
+    __slots__ = ("_span", "_is_root")
+
+    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+        self._span = Span(name, attributes)
+        self._is_root = False
+
+    def __enter__(self) -> Span:
+        state = _STATE
+        record = self._span
+        record.thread_id = threading.get_ident()
+        stack = state.stack()
+        self._is_root = not stack
+        if stack:
+            stack[-1].children.append(record)
+        stack.append(record)
+        record.cpu_start = state.clock.cpu()
+        record.wall_start = state.clock.wall()
+        return record
+
+    def __exit__(self, *_exc: object) -> None:
+        state = _STATE
+        record = self._span
+        record.wall_end = state.clock.wall()
+        record.cpu_end = state.clock.cpu()
+        stack = state.stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        if self._is_root:
+            with state.lock:
+                state.roots.append(record)
+
+
+def enable(clock: Optional[Clock] = None) -> None:
+    """Turn tracing on (optionally with an injected clock) and clear
+    any previously collected spans."""
+    reset()
+    if clock is not None:
+        _STATE.clock = clock
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off; collected spans stay readable until reset."""
+    _STATE.enabled = False
+
+
+def enabled() -> bool:
+    """Whether tracing is currently on."""
+    return _STATE.enabled
+
+
+def reset(clock: Optional[Clock] = None) -> None:
+    """Drop all collected spans (and any live stacks on this thread)."""
+    with _STATE.lock:
+        _STATE.roots = []
+    _STATE.local = threading.local()
+    if clock is not None:
+        _STATE.clock = clock
+
+
+def span(name: str, **attributes: object):
+    """Open a traced region; no-op while tracing is disabled.
+
+    Returns a context manager; entering it yields the live
+    :class:`Span` (or a shared null object when disabled), so call
+    sites may unconditionally ``with span(...) as s: s.set(k=v)``.
+    """
+    if not _STATE.enabled:
+        return _NULL_SPAN
+    return _LiveSpan(name, attributes)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost live span on the calling thread, if any."""
+    stack = _STATE.stack()
+    return stack[-1] if stack else None
+
+
+def finished_roots() -> List[Span]:
+    """Snapshot of the completed root spans, in completion order."""
+    with _STATE.lock:
+        return list(_STATE.roots)
+
+
+_INSTRUMENTED: Dict[str, str] = {}
+
+
+def instrument(name: Optional[str] = None):
+    """Decorator: trace every call of a hot function as one span.
+
+    Registers the function in a process-wide registry (see
+    :func:`instrumented_functions`) and wraps it with a fast early-exit
+    path, so the call overhead while tracing is off is a single branch::
+
+        @instrument("pca.fit")
+        def fit_pca(...): ...
+    """
+
+    def decorate(fn):
+        label = name or f"{fn.__module__}.{fn.__qualname__}"
+        _INSTRUMENTED[label] = f"{fn.__module__}.{fn.__qualname__}"
+
+        def wrapper(*args, **kwargs):
+            if not _STATE.enabled:
+                return fn(*args, **kwargs)
+            with _LiveSpan(label, {}):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__module__ = fn.__module__
+        wrapper.__wrapped__ = fn
+        wrapper.__instrument_label__ = label
+        return wrapper
+
+    return decorate
+
+
+def instrumented_functions() -> Dict[str, str]:
+    """Registry of ``@instrument``-ed functions: label -> qualname."""
+    return dict(_INSTRUMENTED)

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import instrument
 from repro.perf.counters import CounterReport, Metric
 from repro.uarch.machine import MachineConfig
 from repro.uarch.pipeline import compute_cpi_stack
@@ -73,8 +75,10 @@ def _monotone(*ratios: float) -> tuple:
     return tuple(result)
 
 
+@instrument("engine.analytic")
 def profile_analytic(spec: WorkloadSpec, machine: MachineConfig) -> CounterReport:
     """Profile one workload on one machine in closed form."""
+    obs_metrics.incr("analytic.profiles")
     factor = machine.isa_path_factor
     rates = _event_rates(spec, machine.l1d.line_bytes)
 

@@ -15,6 +15,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs.progress import progress as obs_progress
+from repro.obs.trace import span
 from repro.perf.counters import SIMILARITY_METRICS, Metric
 from repro.perf.profiler import Profiler
 from repro.uarch.machine import MachineConfig, PAPER_MACHINE_NAMES, get_machine
@@ -134,12 +136,24 @@ def build_feature_matrix(
         for metric in metrics
     )
     rows = np.empty((len(specs), len(features)), dtype=float)
-    for i, spec in enumerate(specs):
-        row: List[float] = []
-        for machine in machine_configs:
-            report = profiler.profile(spec, machine)
-            row.extend(report.metrics.get(metric, 0.0) for metric in metrics)
-        rows[i] = row
+    with span(
+        "dataset.build_matrix",
+        workloads=len(specs),
+        machines=len(machine_configs),
+        features=len(features),
+    ):
+        ticker = obs_progress(
+            "dataset.sweep", total=len(specs) * len(machine_configs)
+        )
+        for i, spec in enumerate(specs):
+            row: List[float] = []
+            for machine in machine_configs:
+                report = profiler.profile(spec, machine)
+                row.extend(
+                    report.metrics.get(metric, 0.0) for metric in metrics
+                )
+                ticker.advance()
+            rows[i] = row
     return FeatureMatrix(
         values=rows,
         workloads=tuple(spec.name for spec in specs),

@@ -3,21 +3,44 @@
 Profiling is deterministic for a given (workload, machine, engine), so
 results are cached process-wide; the full 80-workload x 7-machine study
 profiles each pair exactly once.
+
+Observability: every profile call runs under a ``profile`` span
+(workload/machine/engine attributes) and feeds the
+``profiler.cache.hit`` / ``profiler.cache.miss`` counters; per-instance
+cache statistics are available regardless of obs mode through
+:meth:`Profiler.cache_info`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.progress import progress as obs_progress
+from repro.obs.trace import span
 from repro.perf.analytic import profile_analytic
 from repro.perf.counters import CounterReport
 from repro.uarch.machine import MachineConfig, get_machine
 from repro.workloads.spec import WorkloadSpec, get_workload
 
-__all__ = ["Profiler", "profile"]
+__all__ = ["CacheInfo", "Profiler", "profile"]
 
 _ENGINES = ("analytic", "trace")
+
+
+class CacheInfo(NamedTuple):
+    """Memoization statistics of one :class:`Profiler` instance."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class Profiler:
@@ -49,6 +72,10 @@ class Profiler:
         self.trace_instructions = trace_instructions
         self.seed = seed
         self._cache: Dict[Tuple[str, str], CounterReport] = {}
+        # Always-live instance counters back cache_info() in every obs
+        # mode; the shared registry counters aggregate across instances.
+        self._hits = obs_metrics.Counter("profiler.cache.hit")
+        self._misses = obs_metrics.Counter("profiler.cache.miss")
 
     def profile(
         self,
@@ -61,18 +88,30 @@ class Profiler:
         key = (spec.name, config.name)
         cached = self._cache.get(key)
         if cached is not None:
+            self._hits.add()
+            obs_metrics.incr("profiler.cache.hit")
             return cached
-        if self.engine == "analytic":
-            report = profile_analytic(spec, config)
-        else:
-            from repro.perf.trace_engine import profile_trace
+        self._misses.add()
+        obs_metrics.incr("profiler.cache.miss")
+        # Materialize the hit counter so snapshots always report both.
+        obs_metrics.incr("profiler.cache.hit", 0)
+        with span(
+            "profile",
+            workload=spec.name,
+            machine=config.name,
+            engine=self.engine,
+        ):
+            if self.engine == "analytic":
+                report = profile_analytic(spec, config)
+            else:
+                from repro.perf.trace_engine import profile_trace
 
-            report = profile_trace(
-                spec,
-                config,
-                instructions=self.trace_instructions,
-                seed=self.seed,
-            )
+                report = profile_trace(
+                    spec,
+                    config,
+                    instructions=self.trace_instructions,
+                    seed=self.seed,
+                )
         self._cache[key] = report
         return report
 
@@ -82,16 +121,31 @@ class Profiler:
         machines: Iterable[Union[str, MachineConfig]],
     ) -> List[CounterReport]:
         """Profile the cross product of workloads and machines."""
+        workload_list = list(workloads)
         machine_list = list(machines)
+        ticker = obs_progress(
+            "profiler.sweep", total=len(workload_list) * len(machine_list)
+        )
         reports = []
-        for workload in workloads:
+        for workload in workload_list:
             for machine in machine_list:
                 reports.append(self.profile(workload, machine))
+                ticker.advance()
         return reports
 
+    def cache_info(self) -> CacheInfo:
+        """Cache statistics: hits, misses and resident entry count."""
+        return CacheInfo(
+            hits=int(self._hits.value),
+            misses=int(self._misses.value),
+            size=len(self._cache),
+        )
+
     def clear_cache(self) -> None:
-        """Drop all memoized reports (test hook)."""
+        """Drop all memoized reports and zero the statistics (test hook)."""
         self._cache.clear()
+        self._hits.reset()
+        self._misses.reset()
 
 
 _DEFAULT_PROFILER: Optional[Profiler] = None

@@ -26,6 +26,8 @@ from typing import Dict
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.perf.counters import CounterReport, Metric
 from repro.uarch.branch import build_predictor
 from repro.uarch.cache import Cache
@@ -90,13 +92,16 @@ def profile_trace(
         raise ConfigurationError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
         )
-    trace = synthesize_trace(
-        spec,
-        instructions,
-        seed=_stable_seed(seed, spec.name, machine.name),
-        line_bytes=machine.l1d.line_bytes,
-        page_bytes=machine.dtlb.page_bytes,
-    )
+    obs_metrics.incr("trace_engine.profiles")
+    obs_metrics.incr("trace_engine.instructions", instructions)
+    with span("trace.synthesize", workload=spec.name, instructions=instructions):
+        trace = synthesize_trace(
+            spec,
+            instructions,
+            seed=_stable_seed(seed, spec.name, machine.name),
+            line_bytes=machine.l1d.line_bytes,
+            page_bytes=machine.dtlb.page_bytes,
+        )
     factor = machine.isa_path_factor
     measured = instructions * (1.0 - warmup_fraction)
     ki = measured / 1000.0 * factor  # measured machine kilo-instructions
@@ -106,13 +111,14 @@ def profile_trace(
     data_chain = _build_chain(machine, "l1d")
     l1d = data_chain[0]
     warm = int(trace.data_refs * warmup_fraction)
-    for i, (address, is_store) in enumerate(
-        zip(trace.data_addresses, trace.data_is_store)
-    ):
-        if i == warm:
-            for level in data_chain:
-                level.stats.reset()
-        l1d.access(int(address), is_write=bool(is_store))
+    with span("trace.dcache", refs=int(trace.data_refs)):
+        for i, (address, is_store) in enumerate(
+            zip(trace.data_addresses, trace.data_is_store)
+        ):
+            if i == warm:
+                for level in data_chain:
+                    level.stats.reset()
+            l1d.access(int(address), is_write=bool(is_store))
     # Writebacks inflate outer-level accesses but are not demand misses;
     # demand misses are each level's recorded miss count.
     l1d_misses = data_chain[0].stats.misses
@@ -123,11 +129,12 @@ def profile_trace(
     inst_chain = _build_chain(machine, "l1i")
     l1i = inst_chain[0]
     warm = int(trace.ifetch_addresses.size * warmup_fraction)
-    for i, address in enumerate(trace.ifetch_addresses):
-        if i == warm:
-            for level in inst_chain:
-                level.stats.reset()
-        l1i.access(int(address))
+    with span("trace.icache", fetches=int(trace.ifetch_addresses.size)):
+        for i, address in enumerate(trace.ifetch_addresses):
+            if i == warm:
+                for level in inst_chain:
+                    level.stats.reset()
+            l1i.access(int(address))
     l1i_misses = inst_chain[0].stats.misses
     l2i_misses = inst_chain[1].stats.misses
     l3i_misses = inst_chain[2].stats.misses if len(inst_chain) > 2 else l2i_misses
@@ -141,20 +148,21 @@ def profile_trace(
         walker=machine.walker,
     )
     warm = int(trace.data_refs * warmup_fraction)
-    for i, address in enumerate(trace.data_addresses):
-        if i == warm:
-            _reset_tlb_stats(tlbs)
-        tlbs.translate_data(int(address))
-    dtlb_misses = tlbs.dtlb.misses
-    data_walks = tlbs.page_walks
-    warm = int(trace.ifetch_addresses.size * warmup_fraction)
-    itlb_baseline_misses = 0
-    walks_baseline = tlbs.page_walks
-    for i, address in enumerate(trace.ifetch_addresses):
-        if i == warm:
-            itlb_baseline_misses = tlbs.itlb.misses
-            walks_baseline = tlbs.page_walks - data_walks
-        tlbs.translate_inst(int(address))
+    with span("trace.tlb"):
+        for i, address in enumerate(trace.data_addresses):
+            if i == warm:
+                _reset_tlb_stats(tlbs)
+            tlbs.translate_data(int(address))
+        dtlb_misses = tlbs.dtlb.misses
+        data_walks = tlbs.page_walks
+        warm = int(trace.ifetch_addresses.size * warmup_fraction)
+        itlb_baseline_misses = 0
+        walks_baseline = tlbs.page_walks
+        for i, address in enumerate(trace.ifetch_addresses):
+            if i == warm:
+                itlb_baseline_misses = tlbs.itlb.misses
+                walks_baseline = tlbs.page_walks - data_walks
+            tlbs.translate_inst(int(address))
     itlb_misses = tlbs.itlb.misses - itlb_baseline_misses
     total_walks = data_walks + (tlbs.page_walks - data_walks - walks_baseline)
     last_tlb_misses = tlbs.last_level_misses()
@@ -164,13 +172,16 @@ def profile_trace(
     mispredicts = 0
     taken_count = 0
     warm = int(trace.branches * warmup_fraction)
-    for i, (site, taken) in enumerate(zip(trace.branch_sites, trace.branch_taken)):
-        correct = predictor.predict_and_update(int(site), bool(taken))
-        if i >= warm:
-            if not correct:
-                mispredicts += 1
-            if taken:
-                taken_count += 1
+    with span("trace.branch", branches=int(trace.branches)):
+        for i, (site, taken) in enumerate(
+            zip(trace.branch_sites, trace.branch_taken)
+        ):
+            correct = predictor.predict_and_update(int(site), bool(taken))
+            if i >= warm:
+                if not correct:
+                    mispredicts += 1
+                if taken:
+                    taken_count += 1
 
     metrics: Dict[Metric, float] = {
         Metric.L1D_MPKI: l1d_misses / ki,

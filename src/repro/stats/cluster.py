@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.stats.distance import euclidean_distance_matrix
 
 __all__ = [
@@ -82,53 +84,57 @@ def linkage_matrix(
     ids = list(range(n))               # current cluster id at each position
     sizes = np.ones(n, dtype=float)
     merges = np.empty((n - 1, 4), dtype=float)
+    distance_evals = 0
 
-    for step in range(n - 1):
-        # Find the closest active pair.
-        sub = work[np.ix_(active, active)]
-        flat = int(np.argmin(sub))
-        i_pos, j_pos = divmod(flat, len(active))
-        if i_pos > j_pos:
-            i_pos, j_pos = j_pos, i_pos
-        a, b = active[i_pos], active[j_pos]
-        dist = work[a, b]
-        merged_dist = float(np.sqrt(dist)) if ward else float(dist)
+    with span("cluster.linkage", method=method.value, n=n):
+        for step in range(n - 1):
+            # Find the closest active pair.
+            sub = work[np.ix_(active, active)]
+            flat = int(np.argmin(sub))
+            i_pos, j_pos = divmod(flat, len(active))
+            if i_pos > j_pos:
+                i_pos, j_pos = j_pos, i_pos
+            a, b = active[i_pos], active[j_pos]
+            dist = work[a, b]
+            merged_dist = float(np.sqrt(dist)) if ward else float(dist)
 
-        size = sizes[a] + sizes[b]
-        merges[step] = (
-            min(ids[i_pos], ids[j_pos]),
-            max(ids[i_pos], ids[j_pos]),
-            merged_dist,
-            size,
-        )
+            size = sizes[a] + sizes[b]
+            merges[step] = (
+                min(ids[i_pos], ids[j_pos]),
+                max(ids[i_pos], ids[j_pos]),
+                merged_dist,
+                size,
+            )
 
-        # Lance-Williams distance update of every other active cluster
-        # to the merged cluster, stored in slot `a`.
-        for pos in range(len(active)):
-            if pos in (i_pos, j_pos):
-                continue
-            k = active[pos]
-            d_ka, d_kb = work[k, a], work[k, b]
-            if method is Linkage.SINGLE:
-                new = min(d_ka, d_kb)
-            elif method is Linkage.COMPLETE:
-                new = max(d_ka, d_kb)
-            elif method is Linkage.AVERAGE:
-                new = (sizes[a] * d_ka + sizes[b] * d_kb) / size
-            else:  # WARD on squared distances
-                total = sizes[k] + size
-                new = (
-                    (sizes[a] + sizes[k]) * d_ka
-                    + (sizes[b] + sizes[k]) * d_kb
-                    - sizes[k] * work[a, b]
-                ) / total
-            work[a, k] = work[k, a] = new
-        sizes[a] = size
-        ids[i_pos] = n + step
-        del active[j_pos], ids[j_pos]
-        work[b, :] = np.inf
-        work[:, b] = np.inf
+            # Lance-Williams distance update of every other active cluster
+            # to the merged cluster, stored in slot `a`.
+            distance_evals += len(active) - 2
+            for pos in range(len(active)):
+                if pos in (i_pos, j_pos):
+                    continue
+                k = active[pos]
+                d_ka, d_kb = work[k, a], work[k, b]
+                if method is Linkage.SINGLE:
+                    new = min(d_ka, d_kb)
+                elif method is Linkage.COMPLETE:
+                    new = max(d_ka, d_kb)
+                elif method is Linkage.AVERAGE:
+                    new = (sizes[a] * d_ka + sizes[b] * d_kb) / size
+                else:  # WARD on squared distances
+                    total = sizes[k] + size
+                    new = (
+                        (sizes[a] + sizes[k]) * d_ka
+                        + (sizes[b] + sizes[k]) * d_kb
+                        - sizes[k] * work[a, b]
+                    ) / total
+                work[a, k] = work[k, a] = new
+            sizes[a] = size
+            ids[i_pos] = n + step
+            del active[j_pos], ids[j_pos]
+            work[b, :] = np.inf
+            work[:, b] = np.inf
 
+    obs_metrics.incr("cluster.distance_evals", distance_evals)
     return merges
 
 

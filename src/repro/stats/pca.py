@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs.trace import span
 from repro.stats.preprocess import standardize
 
 __all__ = ["PcaResult", "fit_pca"]
@@ -113,8 +114,9 @@ def fit_pca(
     # Eigendecomposition of the correlation matrix.  With fewer samples
     # than features (the usual case here: ~10 benchmarks x 140 features)
     # at most n_samples - 1 eigenvalues are nonzero.
-    correlation = (data.T @ data) / n_samples
-    eigenvalues, eigenvectors = np.linalg.eigh(correlation)
+    with span("pca.fit", n_samples=n_samples, n_features=n_features):
+        correlation = (data.T @ data) / n_samples
+        eigenvalues, eigenvectors = np.linalg.eigh(correlation)
     order = np.argsort(eigenvalues)[::-1]
     eigenvalues = np.maximum(eigenvalues[order], 0.0)
     eigenvectors = eigenvectors[:, order]

@@ -61,17 +61,22 @@ def calibrate_spec(spec: WorkloadSpec) -> WorkloadSpec:
     """
     if spec.reference_cpi is None:
         return spec
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.trace import span
     from repro.uarch.machine import get_machine
 
     width = get_machine(REFERENCE_MACHINE).width
     target = spec.reference_cpi
 
-    mlp = spec.mlp
-    stalls = _stall_cpi(spec, mlp)
-    # Grow MLP until the issue-base budget is feasible (or MLP caps out).
-    while target - stalls < 1.0 / width and mlp < MAX_MLP:
-        mlp = min(MAX_MLP, mlp * 1.25)
+    with span("calibration.fit", workload=spec.name):
+        obs_metrics.incr("calibration.fits")
+        mlp = spec.mlp
         stalls = _stall_cpi(spec, mlp)
+        # Grow MLP until the issue-base budget is feasible (or MLP caps
+        # out).
+        while target - stalls < 1.0 / width and mlp < MAX_MLP:
+            mlp = min(MAX_MLP, mlp * 1.25)
+            stalls = _stall_cpi(spec, mlp)
 
     budget = max(target - stalls, 1.0 / width)
     ilp = min(MAX_ILP, max(MIN_ILP, 1.0 / budget))
