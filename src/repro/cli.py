@@ -12,11 +12,17 @@ Exposes the paper's analyses as ``repro`` subcommands::
     repro power
     repro casestudies
     repro sensitivity l1_dtlb
+    repro dataset --suite rate-int --jobs 4 --engine trace
     repro export --suite rate-int --out matrix.csv
 
 Every subcommand accepts ``--obs {off,summary,json}`` and
 ``--trace-out FILE`` (Chrome-trace export); ``repro obs-report``
 pretty-prints the manifest of the last observed run.
+
+The profiling subcommands (``profile``, ``dataset``, ``export``)
+additionally accept ``--jobs N`` / ``--backend`` (parallel sweep) and
+``--cache-dir`` / ``--no-disk-cache`` / ``--cache-clear`` (persistent
+result cache; ``$REPRO_CACHE_DIR`` supplies a default root).
 """
 
 from __future__ import annotations
@@ -68,6 +74,45 @@ def _obs_options() -> argparse.ArgumentParser:
     return common
 
 
+def _exec_options() -> argparse.ArgumentParser:
+    """Shared parallel-sweep / disk-cache options."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("execution")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="profile (workload, machine) pairs on N parallel workers",
+    )
+    group.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool backend for --jobs > 1 (default: thread)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persistent profile-result cache root "
+            "(default: $REPRO_CACHE_DIR, else no disk cache)"
+        ),
+    )
+    group.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="never read or write the on-disk cache",
+    )
+    group.add_argument(
+        "--cache-clear",
+        action="store_true",
+        help="evict every on-disk cache entry before running",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -79,9 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     obs_options = [_obs_options()]
+    exec_options = obs_options + [_exec_options()]
 
-    def add_parser(name: str, **kwargs):
-        return sub.add_parser(name, parents=obs_options, **kwargs)
+    def add_parser(name: str, parallel: bool = False, **kwargs):
+        parents = exec_options if parallel else obs_options
+        return sub.add_parser(name, parents=parents, **kwargs)
 
     list_parser = add_parser("list", help="list workloads and machines")
     list_parser.add_argument("--suite", choices=sorted(SUITE_ALIASES))
@@ -89,7 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--machines", action="store_true", help="list machines instead"
     )
 
-    profile_parser = add_parser("profile", help="profile one workload")
+    profile_parser = add_parser(
+        "profile", parallel=True, help="profile one workload"
+    )
     profile_parser.add_argument("workload")
     profile_parser.add_argument("machine", nargs="?", default="skylake-i7-6700")
     profile_parser.add_argument(
@@ -130,7 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--out", default="REPORT.md")
 
-    export_parser = add_parser("export", help="export a feature matrix")
+    dataset_parser = add_parser(
+        "dataset",
+        parallel=True,
+        help="build a feature matrix and print its shape and digest",
+    )
+    dataset_parser.add_argument(
+        "--suite", choices=sorted(SUITE_ALIASES), default="rate-int"
+    )
+    dataset_parser.add_argument(
+        "--engine", choices=("analytic", "trace"), default="analytic"
+    )
+    dataset_parser.add_argument(
+        "--out", default=None, help="also write the matrix as CSV"
+    )
+
+    export_parser = add_parser(
+        "export", parallel=True, help="export a feature matrix"
+    )
     export_parser.add_argument("--suite", choices=sorted(SUITE_ALIASES),
                                default="rate-int")
     export_parser.add_argument("--out", required=True)
@@ -169,10 +235,27 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
+def _make_profiler(args: argparse.Namespace, engine: str = "analytic"):
+    """A :class:`Profiler` configured from the shared execution flags."""
+    import os
+
     from repro.perf.profiler import Profiler
 
-    profiler = Profiler(engine=args.engine)
+    if args.no_disk_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    profiler = Profiler(engine=getattr(args, "engine", engine),
+                        cache_dir=cache_dir)
+    if args.cache_clear and profiler.disk_cache is not None:
+        removed = profiler.disk_cache.clear()
+        print(f"cleared {removed} cached profiles from "
+              f"{profiler.disk_cache.root}")
+    return profiler
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    profiler = _make_profiler(args)
     report = profiler.profile(args.workload, args.machine)
     if args.json:
         import json
@@ -301,11 +384,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.perf.dataset import build_feature_matrix
+
+    profiler = _make_profiler(args)
+    matrix = build_feature_matrix(
+        _suite_names(args.suite),
+        profiler=profiler,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
+    print(f"{args.suite}: {matrix.n_workloads} x {matrix.n_features} "
+          f"feature matrix ({args.engine} engine, jobs={args.jobs})")
+    print(f"digest: {matrix.digest()}")
+    info = profiler.cache_info()
+    print(f"cache: {info.hits} memory hits, {info.disk_hits} disk hits, "
+          f"{info.misses} computed")
+    if args.out:
+        from repro.reporting.export import feature_matrix_to_csv
+
+        path = feature_matrix_to_csv(matrix, args.out)
+        print(f"wrote matrix to {path}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.perf.dataset import build_feature_matrix
     from repro.reporting.export import feature_matrix_to_csv
 
-    matrix = build_feature_matrix(_suite_names(args.suite))
+    matrix = build_feature_matrix(
+        _suite_names(args.suite),
+        profiler=_make_profiler(args),
+        jobs=args.jobs,
+        backend=args.backend,
+    )
     path = feature_matrix_to_csv(matrix, args.out)
     print(f"wrote {matrix.n_workloads} x {matrix.n_features} matrix to {path}")
     return 0
@@ -366,6 +478,7 @@ _COMMANDS = {
     "casestudies": _cmd_casestudies,
     "sensitivity": _cmd_sensitivity,
     "report": _cmd_report,
+    "dataset": _cmd_dataset,
     "export": _cmd_export,
     "obs-report": _cmd_obs_report,
 }

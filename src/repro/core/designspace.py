@@ -129,12 +129,16 @@ def evaluate_design_space(
     workloads: Iterable[Union[str, WorkloadSpec]],
     variants: Sequence[DesignVariant],
     profiler: Optional[Profiler] = None,
+    jobs: int = 1,
+    backend: str = "thread",
 ) -> DesignEvaluation:
     """Geomean speedup of each variant over the baseline.
 
     Speedup per benchmark is the CPI ratio baseline/variant on the
     modelled machine (clock held constant, as in same-process design
-    studies).
+    studies).  With ``jobs > 1`` every (variant, workload) profile is
+    prefilled through the parallel executor first; the evaluation then
+    reads the profiler cache, so results match the serial path exactly.
     """
     if not variants:
         raise AnalysisError("need at least one design variant")
@@ -149,7 +153,20 @@ def evaluate_design_space(
         "designspace.evaluate",
         variants=len(variants),
         workloads=len(specs),
+        jobs=jobs,
     ):
+        if jobs > 1:
+            from repro.perf.executor import ProfilingExecutor
+
+            executor = ProfilingExecutor(profiler, jobs=jobs, backend=backend)
+            executor.run(
+                [
+                    (spec, variant.machine)
+                    for variant in variants
+                    for spec in specs
+                ],
+                progress_label="designspace.prefill",
+            )
         # The sweep profiles every (variant, workload) pair; report
         # stage completion so the long pre-silicon studies are visible.
         ticker = obs_progress(
@@ -189,6 +206,8 @@ def subset_design_fidelity(
     subset: Sequence[str],
     variants: Optional[Sequence[DesignVariant]] = None,
     profiler: Optional[Profiler] = None,
+    jobs: int = 1,
+    backend: str = "thread",
 ) -> SubsetFidelity:
     """Does the subset rank the design variants like the full suite?"""
     missing = [name for name in subset if name not in all_workloads]
@@ -197,8 +216,13 @@ def subset_design_fidelity(
     variants = list(variants) if variants is not None else standard_design_space()
     profiler = profiler or Profiler()
     with span("designspace.fidelity", subset_k=len(subset)):
-        full = evaluate_design_space(all_workloads, variants, profiler=profiler)
-        partial = evaluate_design_space(subset, variants, profiler=profiler)
+        full = evaluate_design_space(
+            all_workloads, variants, profiler=profiler, jobs=jobs,
+            backend=backend,
+        )
+        partial = evaluate_design_space(
+            subset, variants, profiler=profiler, jobs=jobs, backend=backend,
+        )
 
     names = sorted(full.speedups)
     full_values = np.array([full.speedups[n] for n in names])

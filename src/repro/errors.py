@@ -33,3 +33,7 @@ class ConfigurationError(ReproError, ValueError):
 
 class AnalysisError(ReproError, RuntimeError):
     """An analysis pipeline could not be completed."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A parallel profiling sweep failed (names the failing pair)."""

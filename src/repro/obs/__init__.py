@@ -32,6 +32,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    adjust_gauge,
     incr,
     observe,
     set_gauge,
@@ -75,6 +76,7 @@ __all__ = [
     "progress",
     "reset",
     "set_gauge",
+    "adjust_gauge",
     "snapshot",
     "span",
     "trace",

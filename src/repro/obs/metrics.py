@@ -42,6 +42,7 @@ __all__ = [
     "histogram",
     "incr",
     "set_gauge",
+    "adjust_gauge",
     "observe",
     "snapshot",
     "reset",
@@ -90,6 +91,13 @@ class Gauge:
         """Record the current level."""
         with self._lock:
             self._value = float(value)
+
+    def adjust(self, delta: float) -> float:
+        """Shift the level by ``delta`` (e.g. in-flight task tracking);
+        returns the new level."""
+        with self._lock:
+            self._value += float(delta)
+            return self._value
 
     @property
     def value(self) -> float:
@@ -249,6 +257,13 @@ def set_gauge(name: str, value: float) -> None:
     if not _trace.enabled():
         return
     _REGISTRY.gauge(name).set(value)
+
+
+def adjust_gauge(name: str, delta: float) -> None:
+    """Shift a registry gauge; no-op while obs is disabled."""
+    if not _trace.enabled():
+        return
+    _REGISTRY.gauge(name).adjust(delta)
 
 
 def observe(name: str, value: float) -> None:

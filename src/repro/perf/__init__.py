@@ -15,18 +15,28 @@ Two engines are available:
 * ``trace`` — synthesizes a concrete instruction/address trace and runs
   it through the exact simulators in :mod:`repro.uarch`; slower, used
   for validation and microarchitectural deep dives.
+
+Sweeps scale through :mod:`repro.perf.executor` (parallel pair fan-out
+with serial-identical results) and :mod:`repro.perf.diskcache`
+(content-addressed persistent result cache).
 """
 
 from repro.perf.counters import ALL_METRICS, CounterReport, Metric
 from repro.perf.dataset import FeatureMatrix, build_feature_matrix
-from repro.perf.profiler import Profiler, profile
+from repro.perf.diskcache import DiskCache, cache_key
+from repro.perf.executor import ProfilingExecutor
+from repro.perf.profiler import CacheInfo, Profiler, profile
 
 __all__ = [
     "ALL_METRICS",
+    "CacheInfo",
     "CounterReport",
+    "DiskCache",
     "FeatureMatrix",
     "Metric",
     "Profiler",
+    "ProfilingExecutor",
     "build_feature_matrix",
+    "cache_key",
     "profile",
 ]

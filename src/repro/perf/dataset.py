@@ -60,6 +60,23 @@ class FeatureMatrix:
     def n_features(self) -> int:
         return len(self.features)
 
+    def digest(self) -> str:
+        """SHA-256 over labels and raw value bytes.
+
+        Two matrices have equal digests iff workloads, features and
+        every float bit pattern match — the byte-identity check used by
+        the parallel-determinism tests and ``repro dataset``.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update("\x00".join(self.workloads).encode())
+        digest.update(b"\x01")
+        digest.update("\x00".join(self.features).encode())
+        digest.update(b"\x01")
+        digest.update(np.ascontiguousarray(self.values, dtype=float).tobytes())
+        return digest.hexdigest()
+
     def standardized(self) -> np.ndarray:
         """Z-scored copy; zero-variance columns become all-zero."""
         mean = self.values.mean(axis=0)
@@ -111,11 +128,19 @@ def build_feature_matrix(
     machines: Optional[Iterable[Union[str, MachineConfig]]] = None,
     metrics: Sequence[Metric] = SIMILARITY_METRICS,
     profiler: Optional[Profiler] = None,
+    jobs: int = 1,
+    backend: str = "thread",
 ) -> FeatureMatrix:
     """Profile workloads on machines and assemble the feature matrix.
 
     Defaults to the paper's setup: the Table III similarity metrics on
     the seven Table IV machines.
+
+    With ``jobs > 1`` the profiling sweep fans out over a worker pool
+    (:mod:`repro.perf.executor`).  The matrix is assembled from the
+    per-pair reports in input order and each report is deterministic,
+    so the result is bit-identical to the serial build for any worker
+    count or backend.
     """
     specs = [
         get_workload(w) if isinstance(w, str) else w for w in workloads
@@ -141,18 +166,39 @@ def build_feature_matrix(
         workloads=len(specs),
         machines=len(machine_configs),
         features=len(features),
+        jobs=jobs,
     ):
-        ticker = obs_progress(
-            "dataset.sweep", total=len(specs) * len(machine_configs)
-        )
-        for i, spec in enumerate(specs):
+        if jobs > 1:
+            from repro.perf.executor import ProfilingExecutor
+
+            pairs = [
+                (spec, machine)
+                for spec in specs
+                for machine in machine_configs
+            ]
+            executor = ProfilingExecutor(profiler, jobs=jobs, backend=backend)
+            reports = executor.run(pairs, progress_label="dataset.sweep")
+
+            def report_for(i: int, j: int):
+                return reports[i * len(machine_configs) + j]
+
+        else:
+            ticker = obs_progress(
+                "dataset.sweep", total=len(specs) * len(machine_configs)
+            )
+
+            def report_for(i: int, j: int):
+                report = profiler.profile(specs[i], machine_configs[j])
+                ticker.advance()
+                return report
+
+        for i in range(len(specs)):
             row: List[float] = []
-            for machine in machine_configs:
-                report = profiler.profile(spec, machine)
+            for j in range(len(machine_configs)):
+                report = report_for(i, j)
                 row.extend(
                     report.metrics.get(metric, 0.0) for metric in metrics
                 )
-                ticker.advance()
             rows[i] = row
     return FeatureMatrix(
         values=rows,

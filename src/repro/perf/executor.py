@@ -1,0 +1,334 @@
+"""Parallel profiling executor with deterministic batching.
+
+The paper's measurement sweep — 80 workloads x 7 machines x 2 engines —
+is embarrassingly parallel: every (workload, machine) pair is an
+independent, deterministic computation.  :class:`ProfilingExecutor`
+fans a pair list out over a ``concurrent.futures`` thread or process
+pool in fixed-size chunks and reassembles the results **by input
+index**, so the output is identical to the serial sweep regardless of
+worker count, chunk size, backend or completion order (see DESIGN.md,
+"Parallel execution & caching").
+
+Interplay with the caches: the main process probes the profiler's
+memory and disk caches first and only dispatches the remaining pairs;
+workers compute raw reports (no cache access), and every cache write
+happens in the main process through the disk cache's atomic-rename
+path.  A cancelled or crashed sweep therefore never leaves a partial
+cache entry behind.
+
+Failure handling: a pair that raises inside a worker is reported as a
+:class:`~repro.errors.ExecutionError` naming the failing
+``workload@machine`` pair, with the worker traceback attached; the
+remaining chunks are cancelled.
+
+Observability: the sweep runs under an ``executor.sweep`` span; each
+chunk runs under an ``executor.chunk`` span in its worker (thread
+backend; process workers cannot contribute spans to the parent).  The
+pool exports ``executor.pool.jobs`` / ``executor.pool.inflight``
+gauges and ``executor.tasks.{completed,from_cache}`` counters, so
+speedup and saturation are attributable from a trace alone.
+"""
+
+from __future__ import annotations
+
+import math
+import traceback
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.obs import metrics as obs_metrics
+from repro.obs.progress import progress as obs_progress
+from repro.obs.trace import span
+from repro.perf.counters import CounterReport
+from repro.perf.profiler import Profiler, compute_report
+from repro.uarch.machine import MachineConfig, get_machine
+from repro.workloads.spec import WorkloadSpec, get_workload
+
+__all__ = ["ProfilingExecutor", "chunk_spans", "BACKENDS"]
+
+#: Supported pool backends ("serial" bypasses the pool entirely).
+BACKENDS = ("serial", "thread", "process")
+
+#: Target number of chunks per worker; >1 smooths load imbalance
+#: between cheap (analytic) and expensive (trace) pairs.
+_CHUNKS_PER_WORKER = 4
+
+Pair = Tuple[WorkloadSpec, MachineConfig]
+
+# Worker payload: engine parameters plus the chunk's pairs, tagged with
+# the chunk index so results can be reassembled deterministically.
+_ChunkPayload = Tuple[int, str, int, int, List[Pair]]
+
+
+def chunk_spans(n_tasks: int, jobs: int, chunk_size: Optional[int] = None) -> List[range]:
+    """Split ``range(n_tasks)`` into contiguous, ordered chunks.
+
+    The split depends only on ``(n_tasks, jobs, chunk_size)`` — never on
+    timing — so a sweep is batched identically on every run.
+    """
+    if n_tasks < 0:
+        raise ConfigurationError("n_tasks must be >= 0")
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(n_tasks / (jobs * _CHUNKS_PER_WORKER)))
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be >= 1")
+    return [
+        range(start, min(start + chunk_size, n_tasks))
+        for start in range(0, n_tasks, chunk_size)
+    ]
+
+
+def _pair_label(spec: WorkloadSpec, config: MachineConfig) -> str:
+    return f"{spec.name}@{config.name}"
+
+
+def _profile_chunk(payload: _ChunkPayload) -> Tuple[int, List[Tuple[str, object]]]:
+    """Compute one chunk of pairs; runs inside a pool worker.
+
+    Returns ``(chunk_index, outcomes)`` where each outcome is
+    ``("ok", report)`` or ``("err", label, traceback_text)`` — errors
+    are marshalled as strings because not every exception survives
+    pickling back from a process worker.
+    """
+    chunk_index, engine, trace_instructions, seed, pairs = payload
+    outcomes: List[Tuple[str, object]] = []
+    with span("executor.chunk", chunk=chunk_index, pairs=len(pairs)):
+        for spec, config in pairs:
+            try:
+                report = compute_report(
+                    spec,
+                    config,
+                    engine,
+                    trace_instructions=trace_instructions,
+                    seed=seed,
+                )
+            except KeyboardInterrupt:
+                raise
+            except Exception:
+                outcomes.append(
+                    (
+                        "err",
+                        _pair_label(spec, config),
+                        traceback.format_exc(),
+                    )
+                )
+            else:
+                outcomes.append(("ok", report))
+    return chunk_index, outcomes
+
+
+class ProfilingExecutor:
+    """Runs a profiling pair sweep over a worker pool, deterministically.
+
+    Parameters
+    ----------
+    profiler:
+        The cache-owning :class:`~repro.perf.profiler.Profiler`; its
+        engine settings are shipped to the workers.
+    jobs:
+        Worker count.  ``1`` short-circuits to the in-process serial
+        path (no pool is created).
+    backend:
+        ``"thread"`` (default; the engines release no GIL but threads
+        keep memory shared and spans visible), ``"process"`` (true
+        parallelism for large trace-engine sweeps) or ``"serial"``.
+    chunk_size:
+        Pairs per dispatched chunk; defaults to an even split of
+        roughly four chunks per worker.
+    """
+
+    def __init__(
+        self,
+        profiler: Profiler,
+        jobs: int = 1,
+        backend: str = "thread",
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.profiler = profiler
+        self.jobs = jobs
+        self.backend = backend
+        self.chunk_size = chunk_size
+
+    def run(
+        self,
+        pairs: Sequence[Tuple[Union[str, WorkloadSpec], Union[str, MachineConfig]]],
+        progress_label: str = "executor.sweep",
+    ) -> List[CounterReport]:
+        """Profile every pair; results in input order, serial-identical."""
+        resolved: List[Pair] = [
+            (
+                get_workload(w) if isinstance(w, str) else w,
+                get_machine(m) if isinstance(m, str) else m,
+            )
+            for w, m in pairs
+        ]
+        with span(
+            "executor.sweep",
+            pairs=len(resolved),
+            jobs=self.jobs,
+            backend=self.backend,
+        ):
+            return self._run_resolved(resolved, progress_label)
+
+    def _run_resolved(
+        self, resolved: List[Pair], progress_label: str
+    ) -> List[CounterReport]:
+        ticker = obs_progress(progress_label, total=len(resolved))
+        results: List[Optional[CounterReport]] = [None] * len(resolved)
+
+        # Probe the caches up front; only misses reach the pool.  The
+        # identical pair can occur twice in one sweep (e.g. the design
+        # space baseline) — dispatch it once, fill every position.
+        pending_positions: Dict[Tuple[str, str], List[int]] = {}
+        pending: List[Pair] = []
+        for index, (spec, config) in enumerate(resolved):
+            name_key = (spec.name, config.name)
+            if name_key in pending_positions:
+                pending_positions[name_key].append(index)
+                continue
+            cached = self.profiler.lookup(spec, config)
+            if cached is not None:
+                results[index] = cached
+                obs_metrics.incr("executor.tasks.from_cache")
+                ticker.advance()
+            else:
+                self.profiler.record_miss()
+                pending_positions[name_key] = [index]
+                pending.append((spec, config))
+        if pending:
+            obs_metrics.set_gauge("executor.pool.jobs", self.jobs)
+            if self.jobs == 1 or self.backend == "serial":
+                self._run_serial(pending, pending_positions, results, ticker)
+            else:
+                self._run_pool(pending, pending_positions, results, ticker)
+        ticker.close()
+        # Every slot is filled unless an exception propagated above.
+        return results  # type: ignore[return-value]
+
+    def _adopt(
+        self,
+        spec: WorkloadSpec,
+        config: MachineConfig,
+        report: CounterReport,
+        positions: Dict[Tuple[str, str], List[int]],
+        results: List[Optional[CounterReport]],
+    ) -> None:
+        self.profiler.adopt(spec, config, report)
+        for index in positions[(spec.name, config.name)]:
+            results[index] = report
+        obs_metrics.incr("executor.tasks.completed")
+
+    def _run_serial(
+        self,
+        pending: List[Pair],
+        positions: Dict[Tuple[str, str], List[int]],
+        results: List[Optional[CounterReport]],
+        ticker,
+    ) -> None:
+        for spec, config in pending:
+            try:
+                report = compute_report(
+                    spec,
+                    config,
+                    self.profiler.engine,
+                    trace_instructions=self.profiler.trace_instructions,
+                    seed=self.profiler.seed,
+                )
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                raise ExecutionError(
+                    f"profiling {_pair_label(spec, config)} failed: {error}"
+                ) from error
+            self._adopt(spec, config, report, positions, results)
+            ticker.advance()
+
+    def _run_pool(
+        self,
+        pending: List[Pair],
+        positions: Dict[Tuple[str, str], List[int]],
+        results: List[Optional[CounterReport]],
+        ticker,
+    ) -> None:
+        chunks = chunk_spans(len(pending), self.jobs, self.chunk_size)
+        pool_type = (
+            ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        )
+        payloads: List[_ChunkPayload] = [
+            (
+                chunk_index,
+                self.profiler.engine,
+                self.profiler.trace_instructions,
+                self.profiler.seed,
+                [pending[i] for i in indices],
+            )
+            for chunk_index, indices in enumerate(chunks)
+        ]
+        futures: List[Future] = []
+        try:
+            with pool_type(max_workers=self.jobs) as pool:
+                try:
+                    for payload in payloads:
+                        futures.append(pool.submit(_profile_chunk, payload))
+                        obs_metrics.adjust_gauge("executor.pool.inflight", 1)
+                    self._collect(chunks, futures, pending, positions, results, ticker)
+                except BaseException:
+                    # Ctrl-C / worker failure: drop undispatched chunks so
+                    # the pool drains fast, then let the context manager
+                    # join the workers; no cache write for anything not
+                    # fully collected, so no partial entries can exist.
+                    for future in futures:
+                        future.cancel()
+                    raise
+        except ExecutionError:
+            raise
+        except KeyboardInterrupt:
+            raise
+        except Exception as error:  # e.g. BrokenProcessPool
+            raise ExecutionError(
+                f"profiling pool ({self.backend}, jobs={self.jobs}) "
+                f"failed: {error}"
+            ) from error
+        finally:
+            obs_metrics.set_gauge("executor.pool.inflight", 0)
+
+    def _collect(
+        self,
+        chunks: List[range],
+        futures: List[Future],
+        pending: List[Pair],
+        positions: Dict[Tuple[str, str], List[int]],
+        results: List[Optional[CounterReport]],
+        ticker,
+    ) -> None:
+        # Chunks are adopted as they complete; which slot a report
+        # fills depends only on its input index, so completion order
+        # affects wall time, never results.
+        for future in as_completed(futures):
+            chunk_index, outcomes = future.result()
+            obs_metrics.adjust_gauge("executor.pool.inflight", -1)
+            for offset, outcome in enumerate(outcomes):
+                if outcome[0] == "err":
+                    _tag, label, worker_trace = outcome
+                    raise ExecutionError(
+                        f"profiling {label} failed in a "
+                        f"{self.backend} worker:\n{worker_trace}"
+                    )
+                pair_index = chunks[chunk_index][offset]
+                spec, config = pending[pair_index]
+                self._adopt(spec, config, outcome[1], positions, results)
+                ticker.advance()

@@ -1,46 +1,88 @@
-"""Profiler facade: engine selection and memoization.
+"""Profiler facade: engine selection, memoization and disk caching.
 
 Profiling is deterministic for a given (workload, machine, engine), so
-results are cached process-wide; the full 80-workload x 7-machine study
-profiles each pair exactly once.
+results are cached at two levels: an in-process dict (the full
+80-workload x 7-machine study profiles each pair exactly once per
+process) and, optionally, a content-addressed on-disk cache
+(:mod:`repro.perf.diskcache`) that survives process restarts, so warm
+re-runs of a sweep load results instead of recomputing them.
 
-Observability: every profile call runs under a ``profile`` span
-(workload/machine/engine attributes) and feeds the
-``profiler.cache.hit`` / ``profiler.cache.miss`` counters; per-instance
-cache statistics are available regardless of obs mode through
-:meth:`Profiler.cache_info`.
+Observability: every computed profile runs under a ``profile`` span
+(workload/machine/engine attributes); lookups feed the
+``profiler.cache.{hit,miss}`` (in-memory) and
+``profiler.diskcache.{hit,miss,write}`` (on-disk) counters.  In-memory
+and disk hits are tracked separately — :meth:`Profiler.cache_info`
+reports both, consistently even when read mid-sweep from another
+thread.
 """
 
 from __future__ import annotations
 
+import threading
+from pathlib import Path
 from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.obs import metrics as obs_metrics
-from repro.obs.progress import progress as obs_progress
 from repro.obs.trace import span
-from repro.perf.analytic import profile_analytic
 from repro.perf.counters import CounterReport
+from repro.perf.diskcache import DiskCache, cache_key
 from repro.uarch.machine import MachineConfig, get_machine
 from repro.workloads.spec import WorkloadSpec, get_workload
 
-__all__ = ["CacheInfo", "Profiler", "profile"]
+__all__ = ["CacheInfo", "Profiler", "profile", "compute_report"]
 
 _ENGINES = ("analytic", "trace")
 
 
 class CacheInfo(NamedTuple):
-    """Memoization statistics of one :class:`Profiler` instance."""
+    """Cache statistics of one :class:`Profiler` instance.
+
+    ``hits`` counts in-memory hits, ``disk_hits`` on-disk hits; the two
+    are aggregated separately because they have very different costs
+    (dict lookup vs. file read + checksum).  ``misses`` counts full
+    recomputes; ``size`` is the resident in-memory entry count.
+    """
 
     hits: int
+    disk_hits: int
     misses: int
     size: int
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when idle)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served without recomputing (0.0 when idle)."""
+        total = self.hits + self.disk_hits + self.misses
+        return (self.hits + self.disk_hits) / total if total else 0.0
+
+
+def compute_report(
+    spec: WorkloadSpec,
+    config: MachineConfig,
+    engine: str,
+    trace_instructions: int = 200_000,
+    seed: int = 2017,
+) -> CounterReport:
+    """Run one engine on one (workload, machine) pair, uncached.
+
+    Module-level (hence picklable by reference) so pool workers and the
+    serial path share the exact same computation, spans included.
+    """
+    with span(
+        "profile",
+        workload=spec.name,
+        machine=config.name,
+        engine=engine,
+    ):
+        if engine == "analytic":
+            from repro.perf.analytic import profile_analytic
+
+            return profile_analytic(spec, config)
+        from repro.perf.trace_engine import profile_trace
+
+        return profile_trace(
+            spec, config, instructions=trace_instructions, seed=seed
+        )
 
 
 class Profiler:
@@ -56,6 +98,9 @@ class Profiler:
     seed:
         Base RNG seed for trace synthesis (ignored by the analytic
         engine); results stay deterministic per (workload, machine).
+    cache_dir:
+        Root of a persistent on-disk result cache; ``None`` (default)
+        keeps caching purely in-process.
     """
 
     def __init__(
@@ -63,6 +108,7 @@ class Profiler:
         engine: str = "analytic",
         trace_instructions: int = 200_000,
         seed: int = 2017,
+        cache_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if engine not in _ENGINES:
             raise ConfigurationError(
@@ -71,11 +117,76 @@ class Profiler:
         self.engine = engine
         self.trace_instructions = trace_instructions
         self.seed = seed
+        self.disk_cache: Optional[DiskCache] = (
+            DiskCache(cache_dir) if cache_dir is not None else None
+        )
         self._cache: Dict[Tuple[str, str], CounterReport] = {}
+        # One lock makes lookups, stat updates and cache_info() mutually
+        # consistent when worker threads and a reader race mid-sweep.
+        self._lock = threading.Lock()
         # Always-live instance counters back cache_info() in every obs
         # mode; the shared registry counters aggregate across instances.
         self._hits = obs_metrics.Counter("profiler.cache.hit")
+        self._disk_hits = obs_metrics.Counter("profiler.diskcache.hit")
         self._misses = obs_metrics.Counter("profiler.cache.miss")
+
+    def _disk_key(self, spec: WorkloadSpec, config: MachineConfig) -> str:
+        return cache_key(
+            spec, config, self.engine, self.trace_instructions, self.seed
+        )
+
+    def lookup(
+        self,
+        spec: WorkloadSpec,
+        config: MachineConfig,
+    ) -> Optional[CounterReport]:
+        """Memory-then-disk cache probe; ``None`` means "must compute".
+
+        Counts hits (memory and disk separately) but *not* misses —
+        the caller records the miss when it commits to computing, so a
+        probe-then-adopt sequence (the parallel executor) counts each
+        pair once.
+        """
+        key = (spec.name, config.name)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits.add()
+        if cached is not None:
+            obs_metrics.incr("profiler.cache.hit")
+            return cached
+        if self.disk_cache is None:
+            return None
+        report = self.disk_cache.load(self._disk_key(spec, config))
+        if report is None:
+            obs_metrics.incr("profiler.diskcache.miss")
+            return None
+        with self._lock:
+            self._cache[key] = report
+            self._disk_hits.add()
+        obs_metrics.incr("profiler.diskcache.hit")
+        return report
+
+    def record_miss(self) -> None:
+        """Count one cache miss (a pair that will be computed)."""
+        with self._lock:
+            self._misses.add()
+        obs_metrics.incr("profiler.cache.miss")
+        # Materialize the hit counters so snapshots always report both.
+        obs_metrics.incr("profiler.cache.hit", 0)
+
+    def adopt(
+        self,
+        spec: WorkloadSpec,
+        config: MachineConfig,
+        report: CounterReport,
+    ) -> None:
+        """Install a computed report into the memory and disk caches."""
+        with self._lock:
+            self._cache[(spec.name, config.name)] = report
+        if self.disk_cache is not None:
+            self.disk_cache.store(self._disk_key(spec, config), report)
+            obs_metrics.incr("profiler.diskcache.write")
 
     def profile(
         self,
@@ -85,67 +196,71 @@ class Profiler:
         """Profile one workload on one machine (cached)."""
         spec = get_workload(workload) if isinstance(workload, str) else workload
         config = get_machine(machine) if isinstance(machine, str) else machine
-        key = (spec.name, config.name)
-        cached = self._cache.get(key)
+        cached = self.lookup(spec, config)
         if cached is not None:
-            self._hits.add()
-            obs_metrics.incr("profiler.cache.hit")
             return cached
-        self._misses.add()
-        obs_metrics.incr("profiler.cache.miss")
-        # Materialize the hit counter so snapshots always report both.
-        obs_metrics.incr("profiler.cache.hit", 0)
-        with span(
-            "profile",
-            workload=spec.name,
-            machine=config.name,
-            engine=self.engine,
-        ):
-            if self.engine == "analytic":
-                report = profile_analytic(spec, config)
-            else:
-                from repro.perf.trace_engine import profile_trace
-
-                report = profile_trace(
-                    spec,
-                    config,
-                    instructions=self.trace_instructions,
-                    seed=self.seed,
-                )
-        self._cache[key] = report
+        self.record_miss()
+        report = compute_report(
+            spec,
+            config,
+            self.engine,
+            trace_instructions=self.trace_instructions,
+            seed=self.seed,
+        )
+        self.adopt(spec, config, report)
         return report
 
     def profile_many(
         self,
         workloads: Iterable[Union[str, WorkloadSpec]],
         machines: Iterable[Union[str, MachineConfig]],
+        jobs: int = 1,
+        backend: str = "thread",
     ) -> List[CounterReport]:
-        """Profile the cross product of workloads and machines."""
-        workload_list = list(workloads)
-        machine_list = list(machines)
-        ticker = obs_progress(
-            "profiler.sweep", total=len(workload_list) * len(machine_list)
-        )
-        reports = []
-        for workload in workload_list:
-            for machine in machine_list:
-                reports.append(self.profile(workload, machine))
-                ticker.advance()
-        return reports
+        """Profile the cross product of workloads and machines.
+
+        With ``jobs > 1`` the sweep fans out over a worker pool (see
+        :mod:`repro.perf.executor`); results are returned in the same
+        workload-major order as the serial sweep regardless of worker
+        count.
+        """
+        from repro.perf.executor import ProfilingExecutor
+
+        specs = [
+            get_workload(w) if isinstance(w, str) else w for w in workloads
+        ]
+        configs = [
+            get_machine(m) if isinstance(m, str) else m for m in machines
+        ]
+        pairs = [(spec, config) for spec in specs for config in configs]
+        executor = ProfilingExecutor(self, jobs=jobs, backend=backend)
+        return executor.run(pairs, progress_label="profiler.sweep")
 
     def cache_info(self) -> CacheInfo:
-        """Cache statistics: hits, misses and resident entry count."""
-        return CacheInfo(
-            hits=int(self._hits.value),
-            misses=int(self._misses.value),
-            size=len(self._cache),
-        )
+        """Cache statistics: memory hits, disk hits, misses, entries.
+
+        Taken under the profiler lock, so the four numbers form one
+        consistent snapshot even when called mid-sweep.
+        """
+        with self._lock:
+            return CacheInfo(
+                hits=int(self._hits.value),
+                disk_hits=int(self._disk_hits.value),
+                misses=int(self._misses.value),
+                size=len(self._cache),
+            )
 
     def clear_cache(self) -> None:
-        """Drop all memoized reports and zero the statistics (test hook)."""
-        self._cache.clear()
-        self._hits.reset()
-        self._misses.reset()
+        """Drop all memoized reports and zero the statistics (test hook).
+
+        The on-disk cache is left intact; use ``disk_cache.clear()`` to
+        wipe persisted entries.
+        """
+        with self._lock:
+            self._cache.clear()
+            self._hits.reset()
+            self._disk_hits.reset()
+            self._misses.reset()
 
 
 _DEFAULT_PROFILER: Optional[Profiler] = None

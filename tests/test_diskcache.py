@@ -1,0 +1,267 @@
+"""Property and unit tests for the content-addressed disk cache.
+
+The key-space properties use a pure-stdlib randomized harness (seeded
+``random.Random``, no hypothesis) as the cache must behave for *any*
+workload/machine/engine/parameter combination: distinct tuples never
+collide, equal tuples always agree, and round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.counters import CounterReport
+from repro.perf.diskcache import (
+    MAGIC,
+    DiskCache,
+    cache_key,
+    canonical_encoding,
+    code_version,
+)
+from repro.perf.profiler import Profiler, compute_report
+from repro.uarch.machine import all_machines, get_machine
+from repro.workloads.spec import all_workloads, get_workload
+
+SEED = 20170406  # SPEC CPU2017 release date; fixed for reproducibility
+
+MACHINE = get_machine("skylake-i7-6700")
+SPEC = get_workload("505.mcf_r")
+
+
+def _random_tuple(rng: random.Random):
+    """One random (workload, machine, engine, params) keying tuple."""
+    spec = rng.choice(all_workloads())
+    machine = rng.choice(all_machines())
+    engine = rng.choice(("analytic", "trace"))
+    instructions = rng.choice((50_000, 100_000, 200_000, 400_000))
+    seed = rng.randrange(10_000)
+    return spec, machine, engine, instructions, seed
+
+
+def _identity(spec, machine, engine, instructions, seed):
+    """What makes two keying tuples semantically equal."""
+    return (
+        spec.name,
+        machine.name,
+        engine,
+        # analytic profiles ignore trace parameters by design
+        (instructions, seed) if engine == "trace" else None,
+    )
+
+
+class TestCacheKeyProperties:
+    def test_distinct_tuples_never_collide(self):
+        rng = random.Random(SEED)
+        seen = {}
+        for _ in range(500):
+            tup = _random_tuple(rng)
+            key = cache_key(*tup)
+            identity = _identity(*tup)
+            if key in seen:
+                assert seen[key] == identity, (
+                    f"collision: {identity} vs {seen[key]} -> {key}"
+                )
+            seen[key] = identity
+        assert len(set(seen.values())) == len(seen)
+
+    def test_equal_tuples_agree(self):
+        rng = random.Random(SEED + 1)
+        for _ in range(100):
+            spec, machine, engine, instructions, seed = _random_tuple(rng)
+            first = cache_key(spec, machine, engine, instructions, seed)
+            again = cache_key(spec, machine, engine, instructions, seed)
+            assert first == again
+
+    def test_analytic_key_ignores_trace_params(self):
+        a = cache_key(SPEC, MACHINE, "analytic", 100_000, 1)
+        b = cache_key(SPEC, MACHINE, "analytic", 999_999, 2)
+        assert a == b
+
+    def test_trace_key_depends_on_trace_params(self):
+        a = cache_key(SPEC, MACHINE, "trace", 100_000, 1)
+        b = cache_key(SPEC, MACHINE, "trace", 200_000, 1)
+        c = cache_key(SPEC, MACHINE, "trace", 100_000, 2)
+        assert len({a, b, c}) == 3
+
+    def test_any_spec_field_perturbation_changes_key(self):
+        rng = random.Random(SEED + 2)
+        base = cache_key(SPEC, MACHINE, "analytic", 0, 0)
+        for _ in range(30):
+            factor = 1.0 + rng.uniform(0.01, 0.5)
+            mutated = dataclasses.replace(
+                SPEC, icount_billions=SPEC.icount_billions * factor
+            )
+            assert cache_key(mutated, MACHINE, "analytic", 0, 0) != base
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key(SPEC, MACHINE, "analytic", 0, 0)
+        assert len(key) == 64
+        int(key, 16)  # raises on non-hex
+
+    def test_key_includes_code_version(self, monkeypatch):
+        import repro.perf.diskcache as mod
+
+        base = cache_key(SPEC, MACHINE, "analytic", 0, 0)
+        monkeypatch.setattr(mod, "_CODE_VERSION", "different-code")
+        assert cache_key(SPEC, MACHINE, "analytic", 0, 0) != base
+
+    def test_code_version_is_memoized_and_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestCanonicalEncoding:
+    def test_dict_keys_are_sorted(self):
+        assert canonical_encoding({"b": 1, "a": 2}) == {"a": 2, "b": 1}
+
+    def test_floats_round_trip_bit_exactly(self):
+        value = 0.1 + 0.2  # not 0.3
+        assert canonical_encoding(value) == repr(value)
+        assert float(canonical_encoding(value)) == value
+
+    def test_unencodable_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_encoding(object())
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache")
+
+
+@pytest.fixture(scope="module")
+def report():
+    return compute_report(SPEC, MACHINE, "analytic")
+
+
+class TestRoundTrip:
+    def test_store_then_load_is_equal(self, cache, report):
+        rng = random.Random(SEED + 3)
+        for _ in range(20):
+            spec = rng.choice(all_workloads())
+            machine = rng.choice(all_machines())
+            original = compute_report(spec, machine, "analytic")
+            key = cache_key(spec, machine, "analytic", 0, 0)
+            cache.store(key, original)
+            loaded = cache.load(key)
+            assert loaded == original  # dataclass equality: exact floats
+
+    def test_missing_key_is_none(self, cache):
+        assert cache.load("0" * 64) is None
+
+    def test_contains_and_len(self, cache, report):
+        key = cache_key(SPEC, MACHINE, "analytic", 0, 0)
+        assert key not in cache
+        cache.store(key, report)
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_store_is_idempotent(self, cache, report):
+        key = cache_key(SPEC, MACHINE, "analytic", 0, 0)
+        cache.store(key, report)
+        cache.store(key, report)
+        assert len(cache) == 1
+        assert cache.load(key) == report
+
+
+class TestCorruption:
+    """Any damaged entry must degrade to a miss, never to a crash."""
+
+    def _stored(self, cache, report):
+        key = cache_key(SPEC, MACHINE, "analytic", 0, 0)
+        path = cache.store(key, report)
+        return key, path
+
+    def test_truncated_file_is_a_miss(self, cache, report):
+        rng = random.Random(SEED + 4)
+        for _ in range(10):
+            key, path = self._stored(cache, report)
+            blob = path.read_bytes()
+            path.write_bytes(blob[: rng.randrange(len(blob))])
+            assert cache.load(key) is None
+            assert not path.exists()  # damaged entry is dropped
+
+    def test_flipped_payload_byte_is_a_miss(self, cache, report):
+        rng = random.Random(SEED + 5)
+        for _ in range(10):
+            key, path = self._stored(cache, report)
+            blob = bytearray(path.read_bytes())
+            position = rng.randrange(len(MAGIC) + 65, len(blob))
+            blob[position] ^= 0xFF
+            path.write_bytes(bytes(blob))
+            assert cache.load(key) is None
+
+    def test_garbage_file_is_a_miss(self, cache):
+        key = cache_key(SPEC, MACHINE, "analytic", 0, 0)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a cache entry at all")
+        assert cache.load(key) is None
+
+    def test_wrong_pickled_type_is_a_miss(self, cache):
+        import hashlib
+
+        key = cache_key(SPEC, MACHINE, "analytic", 0, 0)
+        payload = pickle.dumps({"not": "a report"})
+        blob = (
+            MAGIC + hashlib.sha256(payload).hexdigest().encode()
+            + b"\n" + payload
+        )
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(blob)
+        assert cache.load(key) is None
+
+    def test_corruption_falls_back_to_recompute(self, tmp_path):
+        profiler = Profiler(cache_dir=tmp_path)
+        report = profiler.profile(SPEC, MACHINE)
+        entry = next(iter(profiler.disk_cache._entries()))
+        entry.write_bytes(b"\x00" * 10)
+        fresh = Profiler(cache_dir=tmp_path)
+        assert fresh.profile(SPEC, MACHINE) == report
+        assert fresh.cache_info().misses == 1
+        assert fresh.cache_info().disk_hits == 0
+
+
+class TestAtomicityAndEviction:
+    def test_no_temp_files_left_after_store(self, cache, report):
+        cache.store(cache_key(SPEC, MACHINE, "analytic", 0, 0), report)
+        assert not list(cache.root.rglob("*.part"))
+
+    def test_failed_store_leaves_no_partial_file(self, cache, monkeypatch):
+        class Unpicklable(CounterReport):
+            def __reduce__(self):
+                raise RuntimeError("cannot serialize")
+
+        with pytest.raises(Exception):
+            cache.store("ab" * 32, Unpicklable.__new__(Unpicklable))
+        assert not list(cache.root.rglob("*"))  # nothing written at all
+
+    def test_clear_removes_everything(self, cache, report):
+        for seed in range(5):
+            cache.store(cache_key(SPEC, MACHINE, "trace", 1000, seed), report)
+        assert len(cache) == 5
+        assert cache.clear() == 5
+        assert len(cache) == 0
+
+    def test_prune_keeps_newest(self, cache, report):
+        import os
+
+        keys = [cache_key(SPEC, MACHINE, "trace", 1000, s) for s in range(6)]
+        for age, key in enumerate(keys):
+            path = cache.store(key, report)
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        assert cache.prune(max_entries=2) == 4
+        assert len(cache) == 2
+        assert cache.load(keys[-1]) is not None
+        assert cache.load(keys[-2]) is not None
+        assert cache.load(keys[0]) is None
+
+    def test_prune_rejects_negative(self, cache):
+        with pytest.raises(ConfigurationError):
+            cache.prune(-1)

@@ -387,11 +387,12 @@ class TestProfilerIntegration:
         profiler.profile("505.mcf_r", "skylake-i7-6700")
         info = profiler.cache_info()
         assert info.hits == 1
+        assert info.disk_hits == 0
         assert info.misses == 1
         assert info.size == 1
         assert info.hit_rate == 0.5
         profiler.clear_cache()
-        assert profiler.cache_info() == (0, 0, 0)
+        assert profiler.cache_info() == (0, 0, 0, 0)
 
     def test_registry_counters_track_when_enabled(self):
         from repro.perf.profiler import Profiler
