@@ -9,7 +9,10 @@ Observability: each timed run executes with the obs layer enabled, and
 its span tree plus metrics snapshot are attached to the benchmark's
 ``extra_info`` — so the timing JSON produced with ``--benchmark-json``
 carries stage-level attribution (where inside the pipeline the time
-went), not just a single wall-clock number.
+went), not just a single wall-clock number.  Each run is also recorded
+in the run-history ledger (``$REPRO_OBS_DIR``, default ``.repro-obs``),
+keyed per bench, so ``repro obs check`` can flag statistical
+regressions across bench invocations exactly as it does for CLI runs.
 """
 
 from __future__ import annotations
@@ -44,10 +47,17 @@ def run_once(benchmark):
             )
         finally:
             obs.disable()
+        roots = obs.finished_roots()
+        snapshot = obs.snapshot()
         benchmark.extra_info["obs"] = {
-            "spans": [root.to_dict() for root in obs.finished_roots()],
-            "metrics": obs.snapshot(),
+            "spans": [root.to_dict() for root in roots],
+            "metrics": snapshot,
         }
+        manifest = obs.manifest.build_manifest(
+            "bench", [benchmark.name], roots, snapshot
+        )
+        info = obs.history.record_run(manifest)
+        benchmark.extra_info["obs"]["run_id"] = info.id
         obs.reset()
         return result
 

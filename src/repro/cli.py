@@ -14,10 +14,18 @@ Exposes the paper's analyses as ``repro`` subcommands::
     repro sensitivity l1_dtlb
     repro dataset --suite rate-int --jobs 4 --engine trace
     repro export --suite rate-int --out matrix.csv
+    repro obs history                   # the run-history ledger
+    repro obs diff -2 -1
+    repro obs check                     # regression sentinel (CI)
 
-Every subcommand accepts ``--obs {off,summary,json}`` and
-``--trace-out FILE`` (Chrome-trace export); ``repro obs-report``
-pretty-prints the manifest of the last observed run.
+Every subcommand accepts ``--obs {off,summary,json}``,
+``--trace-out FILE`` (Chrome-trace export) and ``--metrics-out FILE``
+(OpenMetrics text exposition); ``repro obs-report`` pretty-prints the
+manifest of the last observed run (``--json`` for scripting).  Every
+``--obs`` run is appended to the run-history ledger, which ``repro obs
+history`` lists, ``repro obs diff`` compares pairwise and ``repro obs
+check`` scores against a median+MAD baseline, exiting non-zero on a
+statistical regression.
 
 The profiling subcommands (``profile``, ``dataset``, ``export``)
 additionally accept ``--jobs N`` / ``--backend`` (parallel sweep) and
@@ -70,6 +78,12 @@ def _obs_options() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write a chrome://tracing / Perfetto trace file",
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics snapshot in OpenMetrics text format",
     )
     return common
 
@@ -207,6 +221,67 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report_parser.add_argument(
         "--dir", default=None,
         help="manifest directory (default: $REPRO_OBS_DIR or .repro-obs)",
+    )
+    obs_report_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw manifest JSON for scripting",
+    )
+
+    obs_parser = sub.add_parser(
+        "obs", help="run-history ledger: history, diff, check"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    def add_obs_parser(name: str, **kwargs):
+        verb = obs_sub.add_parser(name, **kwargs)
+        verb.add_argument(
+            "--dir", default=None,
+            help="obs directory (default: $REPRO_OBS_DIR or .repro-obs)",
+        )
+        verb.add_argument(
+            "--json", action="store_true", help="emit JSON for scripting"
+        )
+        return verb
+
+    history_parser = add_obs_parser(
+        "history", help="list the recorded runs, oldest first"
+    )
+    history_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show only the newest N runs",
+    )
+    history_parser.add_argument(
+        "--prune", type=int, default=None, metavar="KEEP",
+        help="evict all but the newest KEEP runs first",
+    )
+
+    diff_parser = add_obs_parser(
+        "diff", help="stage/counter deltas between two recorded runs"
+    )
+    diff_parser.add_argument(
+        "first", help="run reference: id, id prefix, seq, or -N offset"
+    )
+    diff_parser.add_argument("second", help="run reference (e.g. -1)")
+
+    check_parser = add_obs_parser(
+        "check",
+        help="score a run against its baseline; exit 1 on regression",
+    )
+    check_parser.add_argument(
+        "--run", default="latest", metavar="REF",
+        help="run to check (default: the most recent)",
+    )
+    check_parser.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="baseline over the last N matching runs (default: 20)",
+    )
+    check_parser.add_argument(
+        "--z-threshold", type=float, default=None, metavar="Z",
+        help="robust z-score beyond which a deviation fails (default: 3)",
+    )
+    check_parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list series that are within tolerance",
     )
     return parser
 
@@ -424,19 +499,149 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs.manifest import load_last_manifest, render_manifest
 
     manifest = load_last_manifest(args.dir)
-    print(render_manifest(manifest))
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        print(render_manifest(manifest))
     return 0
 
 
+def _cmd_obs_history(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import history as obs_history
+
+    if args.prune is not None:
+        removed = obs_history.prune(args.prune, args.dir)
+        print(f"pruned {removed} runs from "
+              f"{obs_history.history_dir(args.dir)}")
+    runs = obs_history.list_runs(args.dir)
+    if args.limit is not None:
+        runs = runs[-max(args.limit, 0):]
+    if args.json:
+        print(json.dumps([info.to_dict() for info in runs], indent=2))
+        return 0
+    if not runs:
+        print("run history is empty; run a command with --obs first")
+        return 0
+    for info in runs:
+        print(f"{info.id}  {info.command:<12s} key={info.run_key}  "
+              f"elapsed {info.elapsed_s * 1e3:9.2f} ms")
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import baseline as obs_baseline
+    from repro.obs import history as obs_history
+
+    first = obs_history.load_run(args.first, args.dir)
+    second = obs_history.load_run(args.second, args.dir)
+    findings = obs_baseline.diff_manifests(
+        first["manifest"], second["manifest"]
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "first": first["id"],
+                "second": second["id"],
+                "findings": [f.to_dict() for f in findings],
+            },
+            indent=2,
+        ))
+        return 0
+    print(f"diff {first['id']} -> {second['id']}")
+    for finding in findings:
+        print(f"  {finding.status.upper():<10s} {finding.kind:<8s}"
+              f" {finding.name:<30s} {finding.reason}")
+    return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import baseline as obs_baseline
+    from repro.obs import history as obs_history
+
+    window = args.window if args.window is not None \
+        else obs_baseline.DEFAULT_WINDOW
+    z_threshold = args.z_threshold if args.z_threshold is not None \
+        else obs_baseline.DEFAULT_Z_THRESHOLD
+    runs = obs_history.list_runs(args.dir)
+    target_info = obs_history.resolve_run(args.run, runs)
+    prior = [
+        info for info in runs
+        if info.run_key == target_info.run_key
+        and info.seq < target_info.seq
+    ][-window:]
+    if not prior:
+        message = (
+            f"run {target_info.id} has no prior runs with key "
+            f"{target_info.run_key}; nothing to compare — ok"
+        )
+        print(json.dumps({"ok": True, "note": message})
+              if args.json else message)
+        return 0
+    manifests = [
+        obs_history.load_run(info.id, args.dir)["manifest"]
+        for info in prior
+    ]
+    baseline = obs_baseline.build_baseline(manifests, window=window)
+    target = obs_history.load_run(target_info.id, args.dir)["manifest"]
+    comparison = obs_baseline.compare(
+        target, baseline, z_threshold=z_threshold
+    )
+    if args.json:
+        print(json.dumps(
+            {"run": target_info.id, **comparison.to_dict()}, indent=2
+        ))
+    else:
+        print(f"check {target_info.id} vs {len(prior)} prior runs")
+        print(comparison.render(verbose=args.verbose))
+    return 0 if comparison.ok else 1
+
+
+_OBS_VERBS = {
+    "history": _cmd_obs_history,
+    "diff": _cmd_obs_diff,
+    "check": _cmd_obs_check,
+}
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    return _OBS_VERBS[args.obs_command](args)
+
+
+def _record_span_histograms(roots) -> None:
+    """Feed every finished span's wall time into per-name histograms.
+
+    Uses always-live instrument handles (tracing is already disabled by
+    the time this runs), so ``span.<name>.wall_seconds`` histograms —
+    and hence p50/p95/p99 in manifests and OpenMetrics output — exist
+    for every span name of the run.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    for root in roots:
+        for recorded in root.walk():
+            obs_metrics.histogram(
+                f"span.{recorded.name}.wall_seconds"
+            ).observe(recorded.wall_time)
+
+
 def _finish_obs(args: argparse.Namespace, argv: Sequence[str]) -> None:
-    """Emit span trees, metrics, the manifest and the trace file."""
+    """Emit span trees, metrics, the manifest, ledger entry and files."""
     from repro import obs
 
     obs.disable()
     roots = obs.finished_roots()
+    _record_span_histograms(roots)
     snapshot = obs.snapshot()
     mode = getattr(args, "obs", "off")
     if mode == "summary":
@@ -448,22 +653,29 @@ def _finish_obs(args: argparse.Namespace, argv: Sequence[str]) -> None:
             print(rendered)
     elif mode == "json":
         print(obs.export.spans_to_jsonl(roots, snapshot))
+    manifest = obs.manifest.build_manifest(
+        args.command,
+        list(argv),
+        roots,
+        snapshot,
+        engine=getattr(args, "engine", None),
+        suite=getattr(args, "suite", None),
+        k=getattr(args, "k", None),
+    )
     if mode != "off":
-        manifest = obs.manifest.build_manifest(
-            args.command,
-            list(argv),
-            roots,
-            snapshot,
-            engine=getattr(args, "engine", None),
-            suite=getattr(args, "suite", None),
-            k=getattr(args, "k", None),
-        )
         path = obs.manifest.write_manifest(manifest)
         print(f"--- obs: manifest written to {path}")
+        if args.command not in ("obs", "obs-report"):
+            info = obs.history.record_run(manifest)
+            print(f"--- obs: run recorded as {info.id}")
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         path = obs.export.write_chrome_trace(trace_out, roots, snapshot)
         print(f"--- obs: chrome trace written to {path}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        path = obs.openmetrics.write_metrics(metrics_out, snapshot, manifest)
+        print(f"--- obs: openmetrics written to {path}")
 
 
 _COMMANDS = {
@@ -481,6 +693,7 @@ _COMMANDS = {
     "dataset": _cmd_dataset,
     "export": _cmd_export,
     "obs-report": _cmd_obs_report,
+    "obs": _cmd_obs,
 }
 
 
@@ -496,6 +709,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     observed = (
         getattr(args, "obs", "off") != "off"
         or getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
     )
     if observed:
         from repro import obs

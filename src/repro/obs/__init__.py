@@ -13,6 +13,12 @@ validation, design-space exploration):
   (``chrome://tracing`` / Perfetto) rendering.
 * :mod:`repro.obs.manifest` — per-run manifests attributing every
   reproduced figure/table to an exact invocation.
+* :mod:`repro.obs.history` — append-only, checksummed run ledger under
+  the obs dir so runs are longitudinal, not one-shot.
+* :mod:`repro.obs.baseline` — median+MAD baselines over the ledger and
+  ok/improved/regressed verdicts (``repro obs check``).
+* :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text
+  exposition of the metrics snapshot (``--metrics-out``).
 
 Everything is off by default and zero-cost when off: disabled call
 sites reduce to a single branch (see DESIGN.md, "Observability").
@@ -27,7 +33,16 @@ Enable programmatically::
 or from the CLI with ``repro <command> --obs summary``.
 """
 
-from repro.obs import export, manifest, metrics, progress, trace
+from repro.obs import (
+    baseline,
+    export,
+    history,
+    manifest,
+    metrics,
+    openmetrics,
+    progress,
+    trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -60,12 +75,15 @@ __all__ = [
     "Histogram",
     "Progress",
     "Span",
+    "baseline",
     "current_span",
     "disable",
     "enable",
     "enabled",
     "export",
     "finished_roots",
+    "history",
+    "openmetrics",
     "incr",
     "instrument",
     "instrumented_functions",

@@ -1,0 +1,401 @@
+"""Robust baselines and regression verdicts over the run ledger.
+
+Turns the last N ledger manifests for one run key into per-stage and
+per-counter baselines (median + MAD — robust against the occasional
+noisy run), then classifies a candidate run against them::
+
+    runs = [doc["manifest"] for doc in prior_run_documents]
+    base = build_baseline(runs)
+    verdict = compare(candidate_manifest, base)
+    if not verdict.ok:
+        for finding in verdict.regressions:
+            ...  # finding.name, finding.reason
+
+The comparison is the machine-checkable core of ``repro obs check``:
+each stage's wall time and each counter/gauge is scored with a robust
+z-score ``(value - median) / scale`` where ``scale`` is the MAD
+rescaled to a normal-consistent sigma (x1.4826), floored by a relative
+tolerance and an absolute floor so that near-zero-variance baselines
+(the common case for deterministic counters and millisecond stages)
+don't flag harmless jitter.  ``|z| > z_threshold`` above the median is
+a regression; below is an improvement; only regressions fail a check.
+
+The same statistical machinery the paper applies to benchmark subsets
+(medians over machines, robust spreads in Table IX) applied to the
+pipeline's own runtime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Baseline",
+    "SeriesBaseline",
+    "Finding",
+    "Comparison",
+    "median",
+    "mad",
+    "build_baseline",
+    "compare",
+    "diff_manifests",
+    "DEFAULT_Z_THRESHOLD",
+    "DEFAULT_WINDOW",
+]
+
+#: Robust z-score above which a deviation is a verdict, not jitter.
+DEFAULT_Z_THRESHOLD = 3.0
+
+#: How many most-recent prior runs feed a baseline.
+DEFAULT_WINDOW = 20
+
+#: MAD -> sigma rescaling for normally distributed data.
+_MAD_SIGMA = 1.4826
+
+#: Stage wall-time tolerance: relative fraction of the median and an
+#: absolute floor (seconds).  Both exist because stages span six orders
+#: of magnitude — a 2 ms stage needs the floor, a 2 s stage the ratio.
+_STAGE_REL_TOL = 0.15
+_STAGE_ABS_FLOOR_S = 0.002
+
+#: Counter/gauge tolerance: deterministic pipeline counters should not
+#: move at all, but one count of slack absorbs boundary effects.
+_COUNTER_REL_TOL = 0.05
+_COUNTER_ABS_FLOOR = 1.0
+
+#: Pseudo-stage name for the whole-run elapsed time.
+TOTAL_STAGE = "(total)"
+
+
+def median(values: Sequence[float]) -> float:
+    """The median of a non-empty sequence."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if not n:
+        raise ValueError("median of empty sequence")
+    middle = n // 2
+    if n % 2:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation about ``center`` (default: the median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+@dataclasses.dataclass(frozen=True)
+class SeriesBaseline:
+    """Robust location/scale of one observed series."""
+
+    name: str
+    median: float
+    mad: float
+    n: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class Baseline:
+    """Per-stage and per-counter baselines from a window of runs."""
+
+    stages: Dict[str, SeriesBaseline]
+    counters: Dict[str, SeriesBaseline]
+    n_runs: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "n_runs": self.n_runs,
+            "stages": {k: v.to_dict() for k, v in self.stages.items()},
+            "counters": {k: v.to_dict() for k, v in self.counters.items()},
+        }
+
+
+def _stage_series(manifests: Sequence[dict]) -> Dict[str, List[float]]:
+    series: Dict[str, List[float]] = {}
+    for manifest in manifests:
+        series.setdefault(TOTAL_STAGE, []).append(
+            float(manifest.get("elapsed_s", 0.0))
+        )
+        for name, entry in manifest.get("stages", {}).items():
+            series.setdefault(name, []).append(float(entry["wall_s"]))
+    return series
+
+
+def _counter_series(manifests: Sequence[dict]) -> Dict[str, List[float]]:
+    series: Dict[str, List[float]] = {}
+    for manifest in manifests:
+        metrics = manifest.get("metrics", {})
+        for kind in ("counters", "gauges"):
+            for name, value in metrics.get(kind, {}).items():
+                series.setdefault(name, []).append(float(value))
+    return series
+
+
+def build_baseline(
+    manifests: Sequence[dict], window: int = DEFAULT_WINDOW
+) -> Baseline:
+    """Baselines from the most recent ``window`` manifests.
+
+    Only series present in at least one windowed manifest appear; a
+    stage missing from some runs is baselined over the runs that have
+    it (a renamed stage will then surface as *new* in the comparison).
+    """
+    windowed = list(manifests)[-window:] if window else list(manifests)
+    stages = {
+        name: SeriesBaseline(name, median(vals), mad(vals), len(vals))
+        for name, vals in sorted(_stage_series(windowed).items())
+    }
+    counters = {
+        name: SeriesBaseline(name, median(vals), mad(vals), len(vals))
+        for name, vals in sorted(_counter_series(windowed).items())
+    }
+    return Baseline(stages=stages, counters=counters, n_runs=len(windowed))
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One classified series of a comparison."""
+
+    kind: str  # "stage" or "counter"
+    name: str
+    status: str  # "ok", "improved", "regressed", "new", "missing"
+    value: Optional[float]
+    median: Optional[float]
+    z: Optional[float]
+    reason: str
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class Comparison:
+    """Verdict of one run against a baseline."""
+
+    findings: List[Finding]
+    n_baseline_runs: int
+    z_threshold: float
+
+    @property
+    def regressions(self) -> List[Finding]:
+        """Findings classified as regressed (these fail a check)."""
+        return [f for f in self.findings if f.status == "regressed"]
+
+    @property
+    def improvements(self) -> List[Finding]:
+        """Findings classified as improved (informational)."""
+        return [f for f in self.findings if f.status == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed (improvements don't fail)."""
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (verdict plus every finding)."""
+        return {
+            "ok": self.ok,
+            "n_baseline_runs": self.n_baseline_runs,
+            "z_threshold": self.z_threshold,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self, verbose: bool = False) -> str:
+        """Console rendering: regressions and improvements, then verdict."""
+        lines: List[str] = []
+        for finding in self.findings:
+            if finding.status == "ok" and not verbose:
+                continue
+            lines.append(
+                f"  {finding.status.upper():<10s} {finding.kind:<8s}"
+                f" {finding.name:<30s} {finding.reason}"
+            )
+        verdict = (
+            "ok: no regressions"
+            if self.ok
+            else f"REGRESSED: {len(self.regressions)} series"
+        )
+        lines.append(
+            f"{verdict} (baseline n={self.n_baseline_runs}, "
+            f"z>{self.z_threshold:g})"
+        )
+        return "\n".join(lines)
+
+
+def _classify(
+    kind: str,
+    name: str,
+    value: float,
+    base: SeriesBaseline,
+    z_threshold: float,
+    rel_tol: float,
+    abs_floor: float,
+    unit: str,
+) -> Finding:
+    scale = max(
+        _MAD_SIGMA * base.mad, rel_tol * abs(base.median), abs_floor
+    )
+    z = (value - base.median) / scale
+    if z > z_threshold:
+        status = "regressed"
+    elif z < -z_threshold:
+        status = "improved"
+    else:
+        status = "ok"
+    reason = (
+        f"{value:.6g}{unit} vs median {base.median:.6g}{unit} "
+        f"(n={base.n}, mad={base.mad:.3g}, z={z:+.1f})"
+    )
+    return Finding(
+        kind=kind,
+        name=name,
+        status=status,
+        value=value,
+        median=base.median,
+        z=round(z, 3),
+        reason=reason,
+    )
+
+
+def compare(
+    manifest: dict,
+    baseline: Baseline,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+) -> Comparison:
+    """Classify every stage and counter of ``manifest`` vs ``baseline``.
+
+    Higher-than-baseline wall time or counter value beyond the robust
+    threshold is *regressed*; lower is *improved* (lower is better for
+    every tracked series: stage seconds, cache misses, distance
+    evaluations).  Series present on only one side are reported as
+    *new* / *missing* without failing the verdict — structural drift is
+    visible but only statistical drift is fatal.
+    """
+    findings: List[Finding] = []
+    run_stages = _stage_series([manifest])
+    for name, base in baseline.stages.items():
+        if name in run_stages:
+            findings.append(
+                _classify(
+                    "stage",
+                    name,
+                    run_stages[name][0],
+                    base,
+                    z_threshold,
+                    _STAGE_REL_TOL,
+                    _STAGE_ABS_FLOOR_S,
+                    unit="s",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    "stage", name, "missing", None, base.median, None,
+                    f"present in baseline (n={base.n}) but not this run",
+                )
+            )
+    for name, values in sorted(run_stages.items()):
+        if name not in baseline.stages:
+            findings.append(
+                Finding(
+                    "stage", name, "new", values[0], None, None,
+                    "not present in any baseline run",
+                )
+            )
+    run_counters = _counter_series([manifest])
+    for name, base in baseline.counters.items():
+        if name in run_counters:
+            findings.append(
+                _classify(
+                    "counter",
+                    name,
+                    run_counters[name][0],
+                    base,
+                    z_threshold,
+                    _COUNTER_REL_TOL,
+                    _COUNTER_ABS_FLOOR,
+                    unit="",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    "counter", name, "missing", None, base.median, None,
+                    f"present in baseline (n={base.n}) but not this run",
+                )
+            )
+    for name, values in sorted(run_counters.items()):
+        if name not in baseline.counters:
+            findings.append(
+                Finding(
+                    "counter", name, "new", values[0], None, None,
+                    "not present in any baseline run",
+                )
+            )
+    return Comparison(
+        findings=findings,
+        n_baseline_runs=baseline.n_runs,
+        z_threshold=z_threshold,
+    )
+
+
+def diff_manifests(first: dict, second: dict) -> List[Finding]:
+    """Per-stage and per-counter deltas between two single manifests.
+
+    Unlike :func:`compare` there is no statistical verdict — a diff of
+    two runs reports every delta with its ratio, for ``repro obs diff``.
+    """
+    findings: List[Finding] = []
+
+    def emit(kind: str, name: str, a: Optional[float],
+             b: Optional[float], unit: str) -> None:
+        if a is None:
+            findings.append(
+                Finding(kind, name, "new", b, None, None,
+                        f"only in second run ({b:.6g}{unit})")
+            )
+        elif b is None:
+            findings.append(
+                Finding(kind, name, "missing", None, a, None,
+                        f"only in first run ({a:.6g}{unit})")
+            )
+        else:
+            ratio = (b / a) if a else float("inf") if b else 1.0
+            status = "ok" if a == b else (
+                "regressed" if b > a else "improved"
+            )
+            findings.append(
+                Finding(
+                    kind, name, status, b, a, None,
+                    f"{a:.6g}{unit} -> {b:.6g}{unit} (x{ratio:.2f})",
+                )
+            )
+
+    stages_a = _stage_series([first])
+    stages_b = _stage_series([second])
+    for name in sorted(set(stages_a) | set(stages_b)):
+        emit(
+            "stage", name,
+            stages_a.get(name, [None])[0],
+            stages_b.get(name, [None])[0],
+            "s",
+        )
+    counters_a = _counter_series([first])
+    counters_b = _counter_series([second])
+    for name in sorted(set(counters_a) | set(counters_b)):
+        emit(
+            "counter", name,
+            counters_a.get(name, [None])[0],
+            counters_b.get(name, [None])[0],
+            "",
+        )
+    return findings

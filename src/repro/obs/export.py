@@ -103,10 +103,16 @@ def render_metrics(snapshot: dict) -> str:
     for name, value in snapshot.get("gauges", {}).items():
         lines.append(f"{name:<36s} {value:12g}")
     for name, stats in snapshot.get("histograms", {}).items():
-        lines.append(
+        line = (
             f"{name:<36s} n={stats['count']} mean={stats['mean']:g} "
             f"min={stats['min']} max={stats['max']}"
         )
+        if stats.get("p50") is not None:
+            line += (
+                f" p50={stats['p50']:g} p95={stats['p95']:g} "
+                f"p99={stats['p99']:g}"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 

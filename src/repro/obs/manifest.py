@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -28,6 +29,7 @@ __all__ = [
     "write_manifest",
     "load_last_manifest",
     "render_manifest",
+    "atomic_write_text",
     "LAST_MANIFEST_NAME",
 ]
 
@@ -95,15 +97,39 @@ def build_manifest(
     return manifest
 
 
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Write ``text`` to ``path`` via temp file + ``os.replace``.
+
+    The same crash-safety pattern as ``repro.perf.diskcache``: a reader
+    (or an interrupt at any point) sees either the previous complete
+    file or the new complete file — never a truncated one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=".part"
+    )
+    try:
+        with os.fdopen(handle, "w") as temp:
+            temp.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def write_manifest(
     manifest: dict, directory: Optional[PathLike] = None
 ) -> Path:
-    """Write the manifest as ``last_manifest.json`` in the obs dir."""
-    target = manifest_dir(directory)
-    target.mkdir(parents=True, exist_ok=True)
-    path = target / LAST_MANIFEST_NAME
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-    return path
+    """Atomically write the manifest as ``last_manifest.json``."""
+    path = manifest_dir(directory) / LAST_MANIFEST_NAME
+    return atomic_write_text(
+        path, json.dumps(manifest, indent=2, sort_keys=True)
+    )
 
 
 def load_last_manifest(directory: Optional[PathLike] = None) -> dict:
@@ -155,4 +181,30 @@ def render_manifest(manifest: dict) -> str:
         lines.append("counters:")
         for name, value in counters.items():
             lines.append(f"  {name:<34s} {value:12g}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<34s} {value:12g}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, stats in histograms.items():
+            lines.append(
+                f"  {name:<34s} n={stats.get('count', 0):<6d}"
+                f" mean={_fmt(stats.get('mean'))}"
+                f" min={_fmt(stats.get('min'))}"
+                f" max={_fmt(stats.get('max'))}"
+            )
+            if stats.get("p50") is not None:
+                lines.append(
+                    f"  {'':<34s} p50={_fmt(stats.get('p50'))}"
+                    f" p95={_fmt(stats.get('p95'))}"
+                    f" p99={_fmt(stats.get('p99'))}"
+                )
     return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    """Compact numeric formatting for manifest rendering (``-`` = absent)."""
+    return f"{value:.6g}" if value is not None else "-"

@@ -26,8 +26,9 @@ JSON-serializable dict for export and manifests.
 
 from __future__ import annotations
 
+import bisect
 import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import trace as _trace
 
@@ -36,6 +37,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DEFAULT_BUCKET_BOUNDS",
     "registry",
     "counter",
     "gauge",
@@ -47,6 +49,22 @@ __all__ = [
     "snapshot",
     "reset",
 ]
+
+
+def _log_spaced_bounds(
+    low_exponent: int = -6, high_exponent: int = 4, per_decade: int = 4
+) -> Tuple[float, ...]:
+    """Fixed log-spaced bucket upper bounds (``10**low`` .. ``10**high``)."""
+    steps = (high_exponent - low_exponent) * per_decade
+    return tuple(
+        10.0 ** (low_exponent + i / per_decade) for i in range(steps + 1)
+    )
+
+
+#: Shared histogram bucket boundaries: 1 µs to 10 ks, four per decade.
+#: Fixed (not adaptive) so two runs of the same workload always bucket
+#: identically and baselines can compare percentile estimates directly.
+DEFAULT_BUCKET_BOUNDS = _log_spaced_bounds()
 
 
 class Counter:
@@ -111,29 +129,51 @@ class Gauge:
 
 
 class Histogram:
-    """Thread-safe summary statistics of observed values.
+    """Thread-safe summary statistics plus a fixed-bucket distribution.
 
-    Keeps count / sum / min / max (hence mean), which is what the
-    exporters and manifests report; full distributions are out of scope
-    for a dependency-free layer.
+    Keeps count / sum / min / max (hence mean) and a bank of fixed
+    log-spaced buckets (:data:`DEFAULT_BUCKET_BOUNDS`), so p50/p95/p99
+    estimates and an OpenMetrics bucket series exist without any
+    dependency and without storing raw observations.  Percentiles are
+    interpolated within their bucket and clamped to the observed
+    min/max, so they are exact for single-valued distributions and
+    within one bucket width otherwise.
     """
 
-    __slots__ = ("name", "_lock", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "name",
+        "_lock",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "bounds",
+        "_bucket_counts",
+    )
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(
+        self,
+        name: str = "",
+        bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS,
+    ) -> None:
         self.name = name
         self._lock = threading.Lock()
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        # One slot per bound (values <= bound) plus a final overflow slot.
+        self._bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
         with self._lock:
             self.count += 1
             self.total += value
+            self._bucket_counts[index] += 1
             if self.minimum is None or value < self.minimum:
                 self.minimum = value
             if self.maximum is None or value > self.maximum:
@@ -144,15 +184,76 @@ class Histogram:
         """Arithmetic mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def _percentile_locked(self, quantile: float) -> Optional[float]:
+        if not self.count:
+            return None
+        target = quantile * self.count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(self._bucket_counts):
+            if not bucket_count:
+                continue
+            before = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                low = self.bounds[index - 1] if index > 0 else 0.0
+                high = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.maximum
+                )
+                low = max(low, self.minimum)
+                high = min(high, self.maximum)
+                if high <= low:
+                    return low
+                fraction = max(target - before, 0.0) / bucket_count
+                return low + fraction * (high - low)
+        return self.maximum
+
+    def percentile(self, quantile: float) -> Optional[float]:
+        """Estimated value at ``quantile`` in [0, 1]; ``None`` if empty."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile {quantile!r} outside [0, 1]")
+        with self._lock:
+            return self._percentile_locked(quantile)
+
+    def bucket_counts(self) -> List[Tuple[Optional[float], int]]:
+        """Non-empty ``(upper_bound, count)`` pairs; ``None`` = overflow."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+        pairs: List[Tuple[Optional[float], int]] = [
+            (self.bounds[i], n) for i, n in enumerate(counts[:-1]) if n
+        ]
+        if counts[-1]:
+            pairs.append((None, counts[-1]))
+        return pairs
+
     def summary(self) -> dict:
-        """The statistics as a plain dict."""
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
-        }
+        """The statistics (including percentiles and buckets) as a dict.
+
+        ``buckets`` lists only non-empty buckets as ``[upper_bound,
+        count]`` pairs (the overflow bucket's bound is ``null``), so
+        manifests stay compact while the OpenMetrics renderer can still
+        reconstruct the cumulative series.
+        """
+        with self._lock:
+            counts = list(self._bucket_counts)
+            result = {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.minimum,
+                "max": self.maximum,
+                "mean": self.mean,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+            }
+        buckets = [
+            [self.bounds[i], n] for i, n in enumerate(counts[:-1]) if n
+        ]
+        if counts[-1]:
+            buckets.append([None, counts[-1]])
+        result["buckets"] = buckets
+        return result
 
     def reset(self) -> None:
         """Drop all observations (test/run-boundary hook)."""
@@ -161,6 +262,7 @@ class Histogram:
             self.total = 0.0
             self.minimum = None
             self.maximum = None
+            self._bucket_counts = [0] * (len(self.bounds) + 1)
 
 
 class MetricsRegistry:

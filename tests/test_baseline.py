@@ -1,0 +1,206 @@
+"""Tests for robust baselines and regression verdicts (repro.obs.baseline)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import baseline
+
+
+def make_manifest(profile_wall=0.1, pca_wall=0.05, misses=70.0,
+                  elapsed=None):
+    elapsed = elapsed if elapsed is not None else profile_wall + pca_wall
+    return {
+        "command": "subset",
+        "argv": ["subset", "rate-int"],
+        "elapsed_s": elapsed,
+        "cpu_s": elapsed / 2,
+        "stages": {
+            "similarity.profile": {
+                "calls": 1, "wall_s": profile_wall, "cpu_s": 0.01
+            },
+            "similarity.pca": {"calls": 1, "wall_s": pca_wall, "cpu_s": 0.01},
+        },
+        "metrics": {
+            "counters": {"profiler.cache.miss": misses},
+            "gauges": {"executor.pool.jobs": 4.0},
+            "histograms": {},
+        },
+    }
+
+
+class TestRobustStats:
+    def test_median_odd_even(self):
+        assert baseline.median([3.0, 1.0, 2.0]) == 2.0
+        assert baseline.median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            baseline.median([])
+
+    def test_mad(self):
+        assert baseline.mad([1.0, 2.0, 3.0]) == 1.0
+        assert baseline.mad([5.0, 5.0, 5.0]) == 0.0
+
+    def test_mad_robust_to_outlier(self):
+        values = [1.0] * 9 + [100.0]
+        assert baseline.mad(values) == 0.0
+
+
+class TestBuildBaseline:
+    def test_medians_over_runs(self):
+        runs = [make_manifest(profile_wall=w) for w in (0.1, 0.2, 0.3)]
+        base = baseline.build_baseline(runs)
+        assert base.n_runs == 3
+        assert base.stages["similarity.profile"].median == 0.2
+        assert base.stages[baseline.TOTAL_STAGE].median == pytest.approx(
+            0.25
+        )
+        assert base.counters["profiler.cache.miss"].median == 70.0
+        assert base.counters["executor.pool.jobs"].median == 4.0
+
+    def test_window_uses_most_recent(self):
+        runs = [make_manifest(profile_wall=w) for w in (9.0, 0.1, 0.1, 0.1)]
+        base = baseline.build_baseline(runs, window=3)
+        assert base.n_runs == 3
+        assert base.stages["similarity.profile"].median == 0.1
+        assert base.stages["similarity.profile"].mad == 0.0
+
+    def test_serializable(self):
+        base = baseline.build_baseline([make_manifest()])
+        json.dumps(base.to_dict())
+
+
+class TestCompare:
+    def _baseline(self, n=5, profile_wall=0.1):
+        return baseline.build_baseline(
+            [make_manifest(profile_wall=profile_wall) for _ in range(n)]
+        )
+
+    def test_identical_run_is_ok(self):
+        base = self._baseline()
+        verdict = baseline.compare(make_manifest(), base)
+        assert verdict.ok
+        assert verdict.regressions == []
+        assert all(f.status == "ok" for f in verdict.findings)
+
+    def test_small_jitter_is_ok(self):
+        base = self._baseline(profile_wall=0.1)
+        verdict = baseline.compare(make_manifest(profile_wall=0.11), base)
+        assert verdict.ok
+
+    def test_10x_slowdown_regresses_and_names_stage(self):
+        base = self._baseline(profile_wall=0.1)
+        verdict = baseline.compare(make_manifest(profile_wall=1.0), base)
+        assert not verdict.ok
+        regressed = {f.name for f in verdict.regressions}
+        assert "similarity.profile" in regressed
+        finding = next(
+            f for f in verdict.regressions
+            if f.name == "similarity.profile"
+        )
+        assert finding.kind == "stage"
+        assert finding.z > baseline.DEFAULT_Z_THRESHOLD
+        assert "median" in finding.reason
+
+    def test_large_speedup_is_improvement_not_failure(self):
+        base = self._baseline(profile_wall=1.0)
+        verdict = baseline.compare(make_manifest(profile_wall=0.01), base)
+        assert verdict.ok
+        assert any(
+            f.name == "similarity.profile" for f in verdict.improvements
+        )
+
+    def test_counter_jump_regresses(self):
+        base = self._baseline()
+        verdict = baseline.compare(make_manifest(misses=700.0), base)
+        assert not verdict.ok
+        assert any(
+            f.name == "profiler.cache.miss" and f.kind == "counter"
+            for f in verdict.regressions
+        )
+
+    def test_counter_within_one_count_is_ok(self):
+        base = self._baseline()
+        verdict = baseline.compare(make_manifest(misses=71.0), base)
+        counter = next(
+            f for f in verdict.findings
+            if f.name == "profiler.cache.miss"
+        )
+        assert counter.status == "ok"
+
+    def test_millisecond_stage_needs_absolute_floor(self):
+        # A 0.5 ms stage jittering to 2 ms must not flag: it is inside
+        # 3 x the absolute floor.
+        base = baseline.build_baseline(
+            [make_manifest(profile_wall=0.0005) for _ in range(3)]
+        )
+        verdict = baseline.compare(make_manifest(profile_wall=0.002), base)
+        stage = next(
+            f for f in verdict.findings
+            if f.name == "similarity.profile"
+        )
+        assert stage.status == "ok"
+
+    def test_new_and_missing_series_do_not_fail(self):
+        base = self._baseline()
+        candidate = make_manifest()
+        candidate["stages"]["brand.new"] = {
+            "calls": 1, "wall_s": 0.5, "cpu_s": 0.1
+        }
+        del candidate["stages"]["similarity.pca"]
+        verdict = baseline.compare(candidate, base)
+        statuses = {f.name: f.status for f in verdict.findings}
+        assert statuses["brand.new"] == "new"
+        assert statuses["similarity.pca"] == "missing"
+        assert verdict.ok
+
+    def test_z_threshold_is_configurable(self):
+        base = self._baseline(profile_wall=0.1)
+        candidate = make_manifest(profile_wall=0.16)
+        strict = baseline.compare(candidate, base, z_threshold=1.0)
+        lax = baseline.compare(candidate, base, z_threshold=10.0)
+        assert not strict.ok
+        assert lax.ok
+
+    def test_render_names_regressions(self):
+        base = self._baseline(profile_wall=0.1)
+        verdict = baseline.compare(make_manifest(profile_wall=1.0), base)
+        text = verdict.render()
+        assert "REGRESSED" in text
+        assert "similarity.profile" in text
+
+    def test_to_dict_serializable(self):
+        base = self._baseline()
+        verdict = baseline.compare(make_manifest(), base)
+        data = verdict.to_dict()
+        assert data["ok"] is True
+        json.dumps(data)
+
+
+class TestDiff:
+    def test_diff_reports_ratios(self):
+        first = make_manifest(profile_wall=0.1)
+        second = make_manifest(profile_wall=0.2)
+        findings = baseline.diff_manifests(first, second)
+        by_name = {f.name: f for f in findings}
+        stage = by_name["similarity.profile"]
+        assert stage.status == "regressed"
+        assert "x2.00" in stage.reason
+
+    def test_diff_flags_new_and_missing(self):
+        first = make_manifest()
+        second = make_manifest()
+        del second["stages"]["similarity.pca"]
+        second["metrics"]["counters"]["fresh.counter"] = 5.0
+        by_name = {
+            f.name: f for f in baseline.diff_manifests(first, second)
+        }
+        assert by_name["similarity.pca"].status == "missing"
+        assert by_name["fresh.counter"].status == "new"
+
+    def test_diff_equal_is_ok(self):
+        findings = baseline.diff_manifests(make_manifest(), make_manifest())
+        assert all(f.status == "ok" for f in findings)

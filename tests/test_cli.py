@@ -110,3 +110,180 @@ class TestExport:
         assert out_file.exists()
         header = out_file.read_text().splitlines()[0]
         assert header.startswith("workload,")
+
+
+class TestDatasetObservability:
+    """PR 2's ``dataset`` subcommand under the obs flags."""
+
+    def test_dataset_obs_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        assert main(["dataset", "--suite", "rate-int", "--obs", "json"]) == 0
+        out = capsys.readouterr().out
+        json_lines = [
+            line for line in out.splitlines() if line.startswith("{")
+        ]
+        parsed = [json.loads(line) for line in json_lines]
+        types = {p["type"] for p in parsed}
+        assert types == {"span", "metrics"}
+        root = next(p for p in parsed if p["type"] == "span")
+        assert root["name"] == "repro.dataset"
+        names = {c["name"] for c in root["children"]}
+        assert "dataset.build_matrix" in names
+
+    def test_dataset_trace_out(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        trace_path = tmp_path / "dataset-trace.json"
+        assert main(
+            ["dataset", "--suite", "rate-int",
+             "--trace-out", str(trace_path)]
+        ) == 0
+        document = json.loads(trace_path.read_text())
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "repro.dataset" in names
+        assert "profile" in names
+
+    def test_dataset_obs_records_history(self, capsys, tmp_path, monkeypatch):
+        from repro.obs import history
+
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        assert main(["dataset", "--suite", "rate-int",
+                     "--obs", "summary"]) == 0
+        runs = history.list_runs()
+        assert len(runs) == 1
+        assert runs[0].command == "dataset"
+
+    def test_dataset_metrics_out(self, capsys, tmp_path, monkeypatch):
+        from repro.obs import openmetrics
+
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        metrics_path = tmp_path / "metrics.txt"
+        assert main(
+            ["dataset", "--suite", "rate-int",
+             "--metrics-out", str(metrics_path)]
+        ) == 0
+        families = openmetrics.parse_openmetrics(metrics_path.read_text())
+        assert "repro_profiler_cache_miss" in families
+        assert any(f.startswith("repro_stage_wall") for f in families)
+
+
+class TestObsVerbs:
+    """``repro obs {history,diff,check}`` and ``obs-report --json``."""
+
+    def _observe(self, monkeypatch, tmp_path, times=1):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        for _ in range(times):
+            assert main(["profile", "505.mcf_r", "--obs", "summary"]) == 0
+
+    def test_history_lists_runs(self, capsys, tmp_path, monkeypatch):
+        self._observe(monkeypatch, tmp_path, times=2)
+        capsys.readouterr()
+        assert main(["obs", "history"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("profile") == 2
+        assert "000000-" in out and "000001-" in out
+
+    def test_history_json_and_prune(self, capsys, tmp_path, monkeypatch):
+        self._observe(monkeypatch, tmp_path, times=3)
+        capsys.readouterr()
+        assert main(["obs", "history", "--prune", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        runs = json.loads(out[out.index("["):])
+        assert len(runs) == 2
+        assert runs[0]["seq"] == 1
+
+    def test_history_empty_is_not_an_error(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        assert main(["obs", "history"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_diff_two_runs(self, capsys, tmp_path, monkeypatch):
+        self._observe(monkeypatch, tmp_path, times=2)
+        capsys.readouterr()
+        assert main(["obs", "diff", "-2", "-1"]) == 0
+        out = capsys.readouterr().out
+        assert "diff 000000-" in out
+        assert "(total)" in out
+
+    def test_check_passes_on_self_baseline(self, capsys, tmp_path,
+                                           monkeypatch):
+        self._observe(monkeypatch, tmp_path, times=2)
+        capsys.readouterr()
+        assert main(["obs", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_check_single_run_is_vacuously_ok(self, capsys, tmp_path,
+                                              monkeypatch):
+        self._observe(monkeypatch, tmp_path, times=1)
+        capsys.readouterr()
+        assert main(["obs", "check"]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_check_empty_history_is_an_error(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        assert main(["obs", "check"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_check_flags_injected_slowdown(self, capsys, tmp_path,
+                                           monkeypatch):
+        from repro.obs import history
+
+        self._observe(monkeypatch, tmp_path, times=2)
+        # Inject a synthetic 10x slowdown as a third recorded run.
+        manifest = history.load_run("latest")["manifest"]
+        for entry in manifest["stages"].values():
+            entry["wall_s"] *= 10
+        manifest["elapsed_s"] *= 10
+        history.record_run(manifest)
+        capsys.readouterr()
+        assert main(["obs", "check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "profile" in out  # the regressed stage is named
+
+    def test_check_json_output(self, capsys, tmp_path, monkeypatch):
+        self._observe(monkeypatch, tmp_path, times=2)
+        capsys.readouterr()
+        assert main(["obs", "check", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["run"].startswith("000001-")
+
+    def test_check_ignores_other_run_keys(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        assert main(["profile", "505.mcf_r", "--obs", "summary"]) == 0
+        assert main(["profile", "541.leela_r", "--obs", "summary"]) == 0
+        capsys.readouterr()
+        # The leela run has no prior leela runs: vacuously ok, the
+        # mcf run is not a comparable baseline.
+        assert main(["obs", "check"]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_obs_report_json(self, capsys, tmp_path, monkeypatch):
+        self._observe(monkeypatch, tmp_path, times=1)
+        capsys.readouterr()
+        assert main(["obs-report", "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["command"] == "profile"
+        assert "stages" in manifest and "metrics" in manifest
+
+    def test_manifest_has_span_duration_percentiles(self, capsys, tmp_path,
+                                                    monkeypatch):
+        self._observe(monkeypatch, tmp_path, times=1)
+        capsys.readouterr()
+        assert main(["obs-report", "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        histograms = manifest["metrics"]["histograms"]
+        # Instruments zeroed by a run-boundary reset stay registered, so
+        # only populated histograms carry percentile estimates.
+        span_hists = [
+            name for name, stats in histograms.items()
+            if name.startswith("span.") and stats["count"]
+        ]
+        assert span_hists
+        for name in span_hists:
+            assert histograms[name]["p50"] is not None
+            assert histograms[name]["p99"] is not None

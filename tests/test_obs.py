@@ -198,9 +198,57 @@ class TestMetrics:
         hist = obs_metrics.histogram("test.hist")
         for v in (1.0, 2.0, 3.0):
             hist.observe(v)
-        assert hist.summary() == {
-            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0
-        }
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+        # Bucketed percentile estimates: within a bucket width, ordered,
+        # and clamped to the observed range.
+        assert 1.0 <= summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["p99"] <= 3.0
+        # Only non-empty buckets are stored, counts sum to n.
+        assert sum(count for _, count in summary["buckets"]) == 3
+        json.dumps(summary)
+
+    def test_histogram_percentiles_single_value(self):
+        hist = obs_metrics.Histogram("h")
+        for _ in range(100):
+            hist.observe(0.25)
+        assert hist.percentile(0.5) == pytest.approx(0.25)
+        assert hist.percentile(0.99) == pytest.approx(0.25)
+
+    def test_histogram_percentiles_spread(self):
+        hist = obs_metrics.Histogram("h")
+        values = [i / 100.0 for i in range(1, 101)]  # 0.01 .. 1.00
+        for v in values:
+            hist.observe(v)
+        # Log-spaced buckets give ~±1 bucket width accuracy.
+        assert hist.percentile(0.5) == pytest.approx(0.5, rel=0.5)
+        assert hist.percentile(0.95) == pytest.approx(0.95, rel=0.3)
+        assert hist.percentile(0.0) is not None
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_histogram_empty_percentile_is_none(self):
+        hist = obs_metrics.Histogram("h")
+        assert hist.percentile(0.5) is None
+        assert hist.summary()["p50"] is None
+
+    def test_histogram_overflow_bucket(self):
+        hist = obs_metrics.Histogram("h", bounds=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5000.0)
+        pairs = hist.bucket_counts()
+        assert pairs == [(1.0, 1), (None, 1)]
+
+    def test_histogram_reset_clears_buckets(self):
+        hist = obs_metrics.Histogram("h")
+        hist.observe(1.0)
+        hist.reset()
+        assert hist.summary()["buckets"] == []
+        assert hist.percentile(0.5) is None
 
     def test_snapshot_is_sorted_and_serializable(self):
         obs.enable(clock=fixed_clock())
