@@ -28,9 +28,12 @@ check`` scores against a median+MAD baseline, exiting non-zero on a
 statistical regression.
 
 The profiling subcommands (``profile``, ``dataset``, ``export``)
-additionally accept ``--jobs N`` / ``--backend`` (parallel sweep) and
-``--cache-dir`` / ``--no-disk-cache`` / ``--cache-clear`` (persistent
-result cache; ``$REPRO_CACHE_DIR`` supplies a default root).
+additionally accept ``--jobs N`` / ``--backend`` (parallel sweep),
+``--trace-kernel {scalar,vector}`` (trace-engine kernels: the
+vectorized batch kernels or the bit-identical scalar oracle;
+``$REPRO_TRACE_KERNEL`` supplies the default) and ``--cache-dir`` /
+``--no-disk-cache`` / ``--cache-clear`` (persistent result cache;
+``$REPRO_CACHE_DIR`` supplies a default root).
 """
 
 from __future__ import annotations
@@ -104,6 +107,16 @@ def _exec_options() -> argparse.ArgumentParser:
         choices=("thread", "process"),
         default="thread",
         help="worker pool backend for --jobs > 1 (default: thread)",
+    )
+    group.add_argument(
+        "--trace-kernel",
+        choices=("scalar", "vector"),
+        default=None,
+        help=(
+            "trace-engine simulation kernels: vectorized batch kernels "
+            "or the bit-identical scalar oracle "
+            "(default: $REPRO_TRACE_KERNEL, else vector)"
+        ),
     )
     group.add_argument(
         "--cache-dir",
@@ -321,7 +334,8 @@ def _make_profiler(args: argparse.Namespace, engine: str = "analytic"):
     else:
         cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
     profiler = Profiler(engine=getattr(args, "engine", engine),
-                        cache_dir=cache_dir)
+                        cache_dir=cache_dir,
+                        trace_kernel=getattr(args, "trace_kernel", None))
     if args.cache_clear and profiler.disk_cache is not None:
         removed = profiler.disk_cache.clear()
         print(f"cleared {removed} cached profiles from "

@@ -167,6 +167,8 @@ def build_feature_matrix(
         machines=len(machine_configs),
         features=len(features),
         jobs=jobs,
+        engine=profiler.engine,
+        kernel=getattr(profiler, "trace_kernel", "vector"),
     ):
         if jobs > 1:
             from repro.perf.executor import ProfilingExecutor

@@ -132,8 +132,15 @@ def cache_key(
     engine: str,
     trace_instructions: int,
     seed: int,
+    trace_kernel: str = "vector",
 ) -> str:
-    """Content hash of everything that determines one profile result."""
+    """Content hash of everything that determines one profile result.
+
+    ``trace_kernel`` is keyed for the trace engine even though the
+    scalar and vector kernels are bit-identical by contract: separate
+    entries mean a hypothetical kernel divergence can never be masked
+    by a result the other kernel persisted.
+    """
     payload = {
         "schema": SCHEMA_VERSION,
         "code": code_version(),
@@ -144,7 +151,11 @@ def cache_key(
         # only for the trace engine keeps analytic entries stable
         # across trace-length experiments.
         "params": (
-            {"instructions": trace_instructions, "seed": seed}
+            {
+                "instructions": trace_instructions,
+                "seed": seed,
+                "kernel": trace_kernel,
+            }
             if engine == "trace"
             else {}
         ),

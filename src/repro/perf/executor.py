@@ -63,7 +63,7 @@ Pair = Tuple[WorkloadSpec, MachineConfig]
 
 # Worker payload: engine parameters plus the chunk's pairs, tagged with
 # the chunk index so results can be reassembled deterministically.
-_ChunkPayload = Tuple[int, str, int, int, List[Pair]]
+_ChunkPayload = Tuple[int, str, int, int, Optional[str], List[Pair]]
 
 
 def chunk_spans(n_tasks: int, jobs: int, chunk_size: Optional[int] = None) -> List[range]:
@@ -98,7 +98,7 @@ def _profile_chunk(payload: _ChunkPayload) -> Tuple[int, List[Tuple[str, object]
     are marshalled as strings because not every exception survives
     pickling back from a process worker.
     """
-    chunk_index, engine, trace_instructions, seed, pairs = payload
+    chunk_index, engine, trace_instructions, seed, trace_kernel, pairs = payload
     outcomes: List[Tuple[str, object]] = []
     with span("executor.chunk", chunk=chunk_index, pairs=len(pairs)):
         for spec, config in pairs:
@@ -109,6 +109,7 @@ def _profile_chunk(payload: _ChunkPayload) -> Tuple[int, List[Tuple[str, object]
                     engine,
                     trace_instructions=trace_instructions,
                     seed=seed,
+                    trace_kernel=trace_kernel,
                 )
             except KeyboardInterrupt:
                 raise
@@ -247,6 +248,7 @@ class ProfilingExecutor:
                     self.profiler.engine,
                     trace_instructions=self.profiler.trace_instructions,
                     seed=self.profiler.seed,
+                    trace_kernel=getattr(self.profiler, "trace_kernel", None),
                 )
             except KeyboardInterrupt:
                 raise
@@ -274,6 +276,7 @@ class ProfilingExecutor:
                 self.profiler.engine,
                 self.profiler.trace_instructions,
                 self.profiler.seed,
+                getattr(self.profiler, "trace_kernel", None),
                 [pending[i] for i in indices],
             )
             for chunk_index, indices in enumerate(chunks)

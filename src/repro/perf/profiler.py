@@ -62,11 +62,15 @@ def compute_report(
     engine: str,
     trace_instructions: int = 200_000,
     seed: int = 2017,
+    trace_kernel: Optional[str] = None,
 ) -> CounterReport:
     """Run one engine on one (workload, machine) pair, uncached.
 
     Module-level (hence picklable by reference) so pool workers and the
     serial path share the exact same computation, spans included.
+    ``trace_kernel`` selects the trace engine's simulation kernels
+    (``"vector"``/``"scalar"``; ``None`` means the session default) and
+    is ignored by the analytic engine.
     """
     with span(
         "profile",
@@ -81,7 +85,11 @@ def compute_report(
         from repro.perf.trace_engine import profile_trace
 
         return profile_trace(
-            spec, config, instructions=trace_instructions, seed=seed
+            spec,
+            config,
+            instructions=trace_instructions,
+            seed=seed,
+            kernel=trace_kernel,
         )
 
 
@@ -98,6 +106,12 @@ class Profiler:
     seed:
         Base RNG seed for trace synthesis (ignored by the analytic
         engine); results stay deterministic per (workload, machine).
+    trace_kernel:
+        Trace-engine simulation kernels: ``"vector"`` (batched, the
+        default) or ``"scalar"`` (per-access reference oracle); the two
+        are bit-identical.  ``None`` resolves to the session default
+        (``$REPRO_TRACE_KERNEL`` or ``"vector"``).  Ignored by the
+        analytic engine.
     cache_dir:
         Root of a persistent on-disk result cache; ``None`` (default)
         keeps caching purely in-process.
@@ -109,14 +123,22 @@ class Profiler:
         trace_instructions: int = 200_000,
         seed: int = 2017,
         cache_dir: Optional[Union[str, Path]] = None,
+        trace_kernel: Optional[str] = None,
     ) -> None:
         if engine not in _ENGINES:
             raise ConfigurationError(
                 f"unknown engine {engine!r}; expected one of {_ENGINES}"
             )
+        if trace_instructions <= 0:
+            raise ConfigurationError(
+                f"instructions must be > 0, got {trace_instructions}"
+            )
+        from repro.uarch.kernels import resolve_trace_kernel
+
         self.engine = engine
         self.trace_instructions = trace_instructions
         self.seed = seed
+        self.trace_kernel = resolve_trace_kernel(trace_kernel)
         self.disk_cache: Optional[DiskCache] = (
             DiskCache(cache_dir) if cache_dir is not None else None
         )
@@ -132,7 +154,12 @@ class Profiler:
 
     def _disk_key(self, spec: WorkloadSpec, config: MachineConfig) -> str:
         return cache_key(
-            spec, config, self.engine, self.trace_instructions, self.seed
+            spec,
+            config,
+            self.engine,
+            self.trace_instructions,
+            self.seed,
+            trace_kernel=self.trace_kernel,
         )
 
     def lookup(
@@ -206,6 +233,7 @@ class Profiler:
             self.engine,
             trace_instructions=self.trace_instructions,
             seed=self.seed,
+            trace_kernel=self.trace_kernel,
         )
         self.adopt(spec, config, report)
         return report

@@ -22,15 +22,17 @@ Scope notes (documented deviations, shared with the analytic engine):
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.perf.counters import CounterReport, Metric
 from repro.uarch.branch import build_predictor
 from repro.uarch.cache import Cache
+from repro.uarch.kernels import resolve_trace_kernel
 from repro.uarch.machine import MachineConfig
 from repro.uarch.pipeline import compute_cpi_stack
 from repro.uarch.tlb import TlbHierarchy
@@ -78,6 +80,7 @@ def profile_trace(
     instructions: int = 200_000,
     seed: int = 2017,
     warmup_fraction: float = 0.25,
+    kernel: Optional[str] = None,
 ) -> CounterReport:
     """Profile one workload on one machine by exact simulation.
 
@@ -85,15 +88,27 @@ def profile_trace(
     structures; statistics are collected over the remainder only, so
     compulsory cold-start misses do not distort the steady-state rates
     the analytic engine models.
-    """
-    if not 0.0 <= warmup_fraction < 1.0:
-        from repro.errors import ConfigurationError
 
+    ``kernel`` selects the simulation implementation: ``"vector"`` (the
+    batch kernels of :mod:`repro.uarch.kernels`), ``"scalar"`` (the
+    per-access reference oracle) or ``None`` for the session default
+    (``$REPRO_TRACE_KERNEL``, else vector).  The two kernels produce
+    bit-identical reports.
+    """
+    if instructions <= 0:
+        raise ConfigurationError(
+            f"instructions must be > 0, got {instructions}"
+        )
+    if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
         )
+    kernel = resolve_trace_kernel(kernel)
+    vector = kernel == "vector"
     obs_metrics.incr("trace_engine.profiles")
     obs_metrics.incr("trace_engine.instructions", instructions)
+    if vector:
+        obs_metrics.incr("trace_engine.kernel_fastpath")
     with span("trace.synthesize", workload=spec.name, instructions=instructions):
         trace = synthesize_trace(
             spec,
@@ -111,14 +126,24 @@ def profile_trace(
     data_chain = _build_chain(machine, "l1d")
     l1d = data_chain[0]
     warm = int(trace.data_refs * warmup_fraction)
-    with span("trace.dcache", refs=int(trace.data_refs)):
-        for i, (address, is_store) in enumerate(
-            zip(trace.data_addresses, trace.data_is_store)
-        ):
-            if i == warm:
-                for level in data_chain:
-                    level.stats.reset()
-            l1d.access(int(address), is_write=bool(is_store))
+    with span("trace.dcache", refs=int(trace.data_refs), kernel=kernel):
+        if vector:
+            l1d.access_many(
+                trace.data_addresses,
+                is_write=trace.data_is_store,
+                reset_stats_at=warm,
+            )
+        else:
+            for i, (address, is_store) in enumerate(
+                zip(
+                    trace.data_addresses.tolist(),
+                    trace.data_is_store.tolist(),
+                )
+            ):
+                if i == warm:
+                    for level in data_chain:
+                        level.stats.reset()
+                l1d.access(address, is_write=is_store)
     # Writebacks inflate outer-level accesses but are not demand misses;
     # demand misses are each level's recorded miss count.
     l1d_misses = data_chain[0].stats.misses
@@ -129,12 +154,17 @@ def profile_trace(
     inst_chain = _build_chain(machine, "l1i")
     l1i = inst_chain[0]
     warm = int(trace.ifetch_addresses.size * warmup_fraction)
-    with span("trace.icache", fetches=int(trace.ifetch_addresses.size)):
-        for i, address in enumerate(trace.ifetch_addresses):
-            if i == warm:
-                for level in inst_chain:
-                    level.stats.reset()
-            l1i.access(int(address))
+    with span(
+        "trace.icache", fetches=int(trace.ifetch_addresses.size), kernel=kernel
+    ):
+        if vector:
+            l1i.access_many(trace.ifetch_addresses, reset_stats_at=warm)
+        else:
+            for i, address in enumerate(trace.ifetch_addresses.tolist()):
+                if i == warm:
+                    for level in inst_chain:
+                        level.stats.reset()
+                l1i.access(address)
     l1i_misses = inst_chain[0].stats.misses
     l2i_misses = inst_chain[1].stats.misses
     l3i_misses = inst_chain[2].stats.misses if len(inst_chain) > 2 else l2i_misses
@@ -148,40 +178,80 @@ def profile_trace(
         walker=machine.walker,
     )
     warm = int(trace.data_refs * warmup_fraction)
-    with span("trace.tlb"):
-        for i, address in enumerate(trace.data_addresses):
-            if i == warm:
-                _reset_tlb_stats(tlbs)
-            tlbs.translate_data(int(address))
-        dtlb_misses = tlbs.dtlb.misses
-        data_walks = tlbs.page_walks
-        warm = int(trace.ifetch_addresses.size * warmup_fraction)
-        itlb_baseline_misses = 0
-        walks_baseline = tlbs.page_walks
-        for i, address in enumerate(trace.ifetch_addresses):
-            if i == warm:
-                itlb_baseline_misses = tlbs.itlb.misses
-                walks_baseline = tlbs.page_walks - data_walks
-            tlbs.translate_inst(int(address))
-    itlb_misses = tlbs.itlb.misses - itlb_baseline_misses
-    total_walks = data_walks + (tlbs.page_walks - data_walks - walks_baseline)
-    last_tlb_misses = tlbs.last_level_misses()
+    with span("trace.tlb", kernel=kernel):
+        if vector:
+            # The warm-up cut only zeroes statistics, never entries, so
+            # the batched miss/walk event streams are identical to the
+            # scalar loop's; every counter the scalar path reads off
+            # the hierarchy is recovered from the outcome arrays.
+            warm_i = int(trace.ifetch_addresses.size * warmup_fraction)
+            data_batch = tlbs.translate_data_many(trace.data_addresses)
+            inst_batch = tlbs.translate_inst_many(trace.ifetch_addresses)
+            dtlb_misses = int(np.count_nonzero(data_batch.l1_miss[warm:]))
+            data_walks = int(np.count_nonzero(data_batch.walks[warm:]))
+            itlb_misses = int(np.count_nonzero(inst_batch.l1_miss[warm_i:]))
+            total_walks = data_walks + int(
+                np.count_nonzero(inst_batch.walks[warm_i:])
+            )
+            if tlbs.l2_itlb is None and tlbs.l2_dtlb is None:
+                # Scalar last_level_misses(): post-cut L1 data misses
+                # plus *all* L1 instruction misses (the instruction
+                # phase never resets its own baseline).
+                last_tlb_misses = dtlb_misses + int(
+                    np.count_nonzero(inst_batch.l1_miss)
+                )
+            else:
+                # With an L2 TLB, last-level misses are exactly the
+                # walk events: post-cut for data, all for instructions.
+                last_tlb_misses = data_walks + int(
+                    np.count_nonzero(inst_batch.walks)
+                )
+        else:
+            for i, address in enumerate(trace.data_addresses.tolist()):
+                if i == warm:
+                    _reset_tlb_stats(tlbs)
+                tlbs.translate_data(address)
+            dtlb_misses = tlbs.dtlb.misses
+            data_walks = tlbs.page_walks
+            warm = int(trace.ifetch_addresses.size * warmup_fraction)
+            itlb_baseline_misses = 0
+            walks_baseline = tlbs.page_walks
+            for i, address in enumerate(trace.ifetch_addresses.tolist()):
+                if i == warm:
+                    itlb_baseline_misses = tlbs.itlb.misses
+                    walks_baseline = tlbs.page_walks - data_walks
+                tlbs.translate_inst(address)
+            itlb_misses = tlbs.itlb.misses - itlb_baseline_misses
+            total_walks = data_walks + (
+                tlbs.page_walks - data_walks - walks_baseline
+            )
+            last_tlb_misses = tlbs.last_level_misses()
 
     # ---- branches ------------------------------------------------------------
     predictor = build_predictor(machine.predictor)
     mispredicts = 0
     taken_count = 0
     warm = int(trace.branches * warmup_fraction)
-    with span("trace.branch", branches=int(trace.branches)):
-        for i, (site, taken) in enumerate(
-            zip(trace.branch_sites, trace.branch_taken)
-        ):
-            correct = predictor.predict_and_update(int(site), bool(taken))
-            if i >= warm:
-                if not correct:
-                    mispredicts += 1
-                if taken:
-                    taken_count += 1
+    with span("trace.branch", branches=int(trace.branches), kernel=kernel):
+        if vector:
+            correct = predictor.predict_many(
+                trace.branch_sites, trace.branch_taken
+            )
+            measured_ok = correct[warm:]
+            mispredicts = int(measured_ok.size) - int(
+                np.count_nonzero(measured_ok)
+            )
+            taken_count = int(np.count_nonzero(trace.branch_taken[warm:]))
+        else:
+            for i, (site, taken) in enumerate(
+                zip(trace.branch_sites.tolist(), trace.branch_taken.tolist())
+            ):
+                correct = predictor.predict_and_update(site, taken)
+                if i >= warm:
+                    if not correct:
+                        mispredicts += 1
+                    if taken:
+                        taken_count += 1
 
     metrics: Dict[Metric, float] = {
         Metric.L1D_MPKI: l1d_misses / ki,

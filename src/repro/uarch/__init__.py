@@ -9,6 +9,9 @@ through hardware performance counters:
   walker cost model.
 * :mod:`repro.uarch.branch` — branch direction predictors (static,
   bimodal, gshare, tournament).
+* :mod:`repro.uarch.kernels` — vectorized batch simulation kernels,
+  bit-identical to the scalar simulators above and ~10x faster on whole
+  trace arrays.
 * :mod:`repro.uarch.pipeline` — the top-down CPI-stack model used for
   Figure 1.
 * :mod:`repro.uarch.power` — a RAPL-style core/LLC/DRAM power model.
@@ -32,6 +35,12 @@ from repro.uarch.branch import (
     build_predictor,
 )
 from repro.uarch.cache import Cache, CacheConfig, ReplacementPolicy
+from repro.uarch.kernels import (
+    TRACE_KERNELS,
+    default_trace_kernel,
+    resolve_trace_kernel,
+    validate_trace_kernel,
+)
 from repro.uarch.machine import (
     MachineConfig,
     all_machines,
@@ -57,6 +66,7 @@ __all__ = [
     "PredictorSpec",
     "ReplacementPolicy",
     "StaticPredictor",
+    "TRACE_KERNELS",
     "Tlb",
     "TlbConfig",
     "TlbHierarchy",
@@ -64,7 +74,10 @@ __all__ = [
     "all_machines",
     "build_predictor",
     "compute_cpi_stack",
+    "default_trace_kernel",
     "get_machine",
     "paper_machines",
     "power_study_machines",
+    "resolve_trace_kernel",
+    "validate_trace_kernel",
 ]

@@ -81,6 +81,22 @@ class BranchPredictor:
         self.update(pc, taken)
         return prediction == taken
 
+    def predict_many(self, pcs, taken) -> np.ndarray:
+        """Run :meth:`predict_and_update` over whole arrays at once.
+
+        Returns the per-branch correctness outcomes as a boolean array
+        (mirroring :meth:`predict_and_update`'s return value).  This
+        base implementation is a scalar fallback; the concrete
+        predictors override it with the batch kernels of
+        :mod:`repro.uarch.kernels`, bit-identical to the scalar loop.
+        """
+        pcs_l = np.ascontiguousarray(pcs, dtype=np.int64).tolist()
+        taken_l = np.ascontiguousarray(taken, dtype=bool).tolist()
+        out = np.empty(len(pcs_l), dtype=bool)
+        for i, (pc, t) in enumerate(zip(pcs_l, taken_l)):
+            out[i] = self.predict_and_update(pc, t)
+        return out
+
 
 class StaticPredictor(BranchPredictor):
     """Predicts a fixed direction (default: always taken)."""
@@ -95,6 +111,10 @@ class StaticPredictor(BranchPredictor):
     def update(self, pc: int, taken: bool) -> None:
         """Static predictors do not learn."""
         return None
+
+    def predict_many(self, pcs, taken) -> np.ndarray:
+        """Correctness of the fixed direction over a whole stream."""
+        return np.ascontiguousarray(taken, dtype=bool) == self.taken
 
 
 class BimodalPredictor(BranchPredictor):
@@ -123,6 +143,15 @@ class BimodalPredictor(BranchPredictor):
             self._counters[index] = min(3, counter + 1)
         else:
             self._counters[index] = max(0, counter - 1)
+
+    def predict_many(self, pcs, taken) -> np.ndarray:
+        """Batched bimodal replay; bit-identical to the scalar loop."""
+        from repro.uarch.kernels import simulate_two_bit
+
+        pcs = np.ascontiguousarray(pcs, dtype=np.int64)
+        taken = np.ascontiguousarray(taken, dtype=bool)
+        preds = simulate_two_bit(self._counters, pcs & self._mask, taken)
+        return preds == taken
 
 
 class GSharePredictor(BranchPredictor):
@@ -159,6 +188,29 @@ class GSharePredictor(BranchPredictor):
             self._counters[index] = max(0, counter - 1)
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
 
+    def predict_many(self, pcs, taken) -> np.ndarray:
+        """Batched gshare replay; bit-identical to the scalar loop.
+
+        The global history before each branch depends only on the taken
+        sequence, so it is precomputed vectorized
+        (:func:`repro.uarch.kernels.gshare_histories`); the XOR-indexed
+        counter table is then replayed index-grouped.
+        """
+        from repro.uarch.kernels import gshare_histories, simulate_two_bit
+
+        pcs = np.ascontiguousarray(pcs, dtype=np.int64)
+        taken = np.ascontiguousarray(taken, dtype=bool)
+        history_bits = self._history_mask.bit_length()
+        histories = gshare_histories(self._history, history_bits, taken)
+        preds = simulate_two_bit(
+            self._counters, (pcs ^ histories) & self._mask, taken
+        )
+        if taken.size:
+            self._history = int(
+                ((int(histories[-1]) << 1) | int(taken[-1])) & self._history_mask
+            )
+        return preds == taken
+
 
 class TournamentPredictor(BranchPredictor):
     """Chooses per-PC between a bimodal and a gshare component."""
@@ -186,6 +238,27 @@ class TournamentPredictor(BranchPredictor):
             self._chooser[index] = max(0, self._chooser[index] - 1)
         self._bimodal.update(pc, taken)
         self._gshare.update(pc, taken)
+
+    def predict_many(self, pcs, taken) -> np.ndarray:
+        """Batched tournament replay; bit-identical to the scalar loop.
+
+        :meth:`update` trains the components with plain predict/update
+        steps, so their counter streams equal standalone runs; the two
+        component kernels run over the full stream first and only the
+        per-PC chooser is replayed against their prediction arrays.
+        """
+        from repro.uarch.kernels import simulate_chooser
+
+        pcs = np.ascontiguousarray(pcs, dtype=np.int64)
+        taken = np.ascontiguousarray(taken, dtype=bool)
+        bimodal_ok = self._bimodal.predict_many(pcs, taken)
+        gshare_ok = self._gshare.predict_many(pcs, taken)
+        pred_bimodal = np.where(bimodal_ok, taken, ~taken)
+        pred_gshare = np.where(gshare_ok, taken, ~taken)
+        preds = simulate_chooser(
+            self._chooser, pcs & self._mask, pred_bimodal, pred_gshare, taken
+        )
+        return preds == taken
 
 
 def build_predictor(spec: PredictorSpec) -> BranchPredictor:

@@ -78,8 +78,17 @@ def synthesize_address_stream(
     if n < 0:
         raise ConfigurationError(f"n must be >= 0, got {n}")
     distances = profile.sample(rng, n)
+    # The loop below works on plain Python scalars: truncating the
+    # sampled distances once (int64 truncates toward zero, like int())
+    # and lifting addresses out through lists avoids per-element numpy
+    # scalar boxing without changing a single value or RNG draw.
+    depths = (
+        np.where(np.isfinite(distances), distances, float(MAX_STACK_DEPTH + 1))
+        .astype(np.int64)
+        .tolist()
+    )
     stack: list = []  # most-recent line id at the end
-    line_addresses: dict = {}
+    line_addresses: list = []  # address of line id i (ids are dense)
     slots_per_page = page_bytes // line_bytes
     lines_in_page = max(1, min(slots_per_page, int(round(lines_per_page))))
     next_page = base_address // page_bytes
@@ -87,40 +96,46 @@ def synthesize_address_stream(
     # set indices stay uniform even when only a few lines per page are
     # touched (page bases are set-aligned for small caches, so packing
     # lines into the first slots would alias them into a few sets).
-    page_slots = rng.permutation(slots_per_page)[:lines_in_page]
+    page_slots = rng.permutation(slots_per_page)[:lines_in_page].tolist()
     slot_in_page = 0
-    addresses = np.empty(n, dtype=np.int64)
+    out: list = []
+    out_append = out.append
+    stack_pop = stack.pop
+    stack_append = stack.append
     next_line_id = 0
+    stack_len = 0  # tracked incrementally; only allocations change it
 
-    for i in range(n):
-        d = distances[i]
-        if np.isfinite(d):
-            depth = int(d)
-        else:
-            depth = MAX_STACK_DEPTH + 1
-        if depth < len(stack) and depth <= MAX_STACK_DEPTH:
-            # Reuse the line at stack depth `depth` (0 = most recent).
-            line = stack.pop(len(stack) - 1 - depth)
-            stack.append(line)
+    for depth in depths:
+        depth_in_stack = stack_len - 1 - depth
+        if depth_in_stack >= 0 and depth <= MAX_STACK_DEPTH:
+            # Reuse the line at stack depth `depth` (0 = most recent);
+            # depth 0 re-touches the top and leaves the stack as is.
+            if depth:
+                line = stack_pop(depth_in_stack)
+                stack_append(line)
+            else:
+                line = stack[-1]
+            out_append(line_addresses[line])
         else:
             line = next_line_id
             next_line_id += 1
             # Allocate the new line's address within the current page.
-            line_addresses[line] = (
-                next_page * page_bytes + int(page_slots[slot_in_page]) * line_bytes
-            )
+            address = next_page * page_bytes + page_slots[slot_in_page] * line_bytes
+            line_addresses.append(address)
             slot_in_page += 1
             if slot_in_page >= lines_in_page:
                 # Jump to a scattered fresh page (avoids artificial
                 # sequential page adjacency for random-access workloads).
                 next_page += 1 + int(rng.integers(0, 7))
-                page_slots = rng.permutation(slots_per_page)[:lines_in_page]
+                page_slots = rng.permutation(slots_per_page)[:lines_in_page].tolist()
                 slot_in_page = 0
-            stack.append(line)
-            if len(stack) > MAX_STACK_DEPTH:
-                del stack[: len(stack) - MAX_STACK_DEPTH]
-        addresses[i] = line_addresses[line]
-    return addresses
+            stack_append(line)
+            stack_len += 1
+            if stack_len > MAX_STACK_DEPTH:
+                del stack[: stack_len - MAX_STACK_DEPTH]
+                stack_len = MAX_STACK_DEPTH
+            out_append(address)
+    return np.asarray(out, dtype=np.int64)
 
 
 def synthesize_trace(

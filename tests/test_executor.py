@@ -131,7 +131,7 @@ class TestWorkerFailure:
         spec = get_workload("505.mcf_r")
         config = get_machine("skylake-i7-6700")
         index, outcomes = _profile_chunk(
-            (7, "trace", -1, 2017, [(spec, config)])
+            (7, "trace", -1, 2017, "vector", [(spec, config)])
         )
         assert index == 7
         tag, label, trace_text = outcomes[0]
@@ -143,7 +143,10 @@ class TestWorkerFailure:
         # trace_instructions=-1 makes the engine itself raise inside
         # the real process worker; the executor must convert that into
         # an ExecutionError naming the pair, not crash the pool.
-        profiler = Profiler(engine="trace", trace_instructions=-1)
+        # (Profiler validates eagerly now, so sneak the bad value in
+        # after construction to exercise the in-worker failure path.)
+        profiler = Profiler(engine="trace")
+        profiler.trace_instructions = -1
         executor = ProfilingExecutor(profiler, jobs=2, backend="process")
         with pytest.raises(ExecutionError) as excinfo:
             executor.run(pairs()[:2])

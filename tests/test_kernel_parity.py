@@ -1,0 +1,398 @@
+"""Bit-identity parity suite for the vectorized simulation kernels.
+
+The contract (DESIGN.md, "Batch simulation kernels"): the vector
+kernels in :mod:`repro.uarch.kernels` are **bit-identical** to the
+scalar per-access simulators — same per-access outcomes, same final
+structure state (tags, dirty bits, stamps, clock), same statistics,
+same warm-up cut semantics and the same RANDOM-policy RNG draws.
+
+The property-based classes drive both implementations over seeded
+randomized geometries and streams (stdlib ``random``, fixed seeds, so
+failures replay deterministically) and compare *everything*, not just
+the returned arrays.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.diskcache import cache_key
+from repro.perf.profiler import Profiler
+from repro.perf.trace_engine import profile_trace
+from repro.uarch.branch import PredictorSpec, build_predictor
+from repro.uarch.cache import CacheConfig, ReplacementPolicy, build_hierarchy
+from repro.uarch.kernels import (
+    TRACE_KERNELS,
+    default_trace_kernel,
+    resolve_trace_kernel,
+    validate_trace_kernel,
+)
+from repro.uarch.machine import PAPER_MACHINE_NAMES, get_machine
+from repro.uarch.tlb import TlbConfig, TlbHierarchy
+from repro.workloads.spec import get_workload
+
+
+def assert_cache_states_equal(vec, ref) -> None:
+    """Full-state equality of two cache chains (not just statistics)."""
+    assert np.array_equal(vec._tags, ref._tags)
+    assert np.array_equal(vec._dirty, ref._dirty)
+    assert np.array_equal(vec._stamp, ref._stamp)
+    assert vec._clock == ref._clock
+    assert vars(vec.stats) == vars(ref.stats)
+
+
+def assert_tlb_states_equal(vec, ref) -> None:
+    """Full-state equality of two TLBs."""
+    assert np.array_equal(vec._tags, ref._tags)
+    assert np.array_equal(vec._stamp, ref._stamp)
+    assert vec._clock == ref._clock
+    assert vec.accesses == ref.accesses
+    assert vec.misses == ref.misses
+
+
+class TestCacheParity:
+    """access_many vs. the scalar access loop, over random geometries."""
+
+    @pytest.mark.parametrize("policy", list(ReplacementPolicy))
+    def test_randomized_chains(self, policy):
+        rnd = random.Random(hash(policy.value) & 0xFFFF)
+        for trial in range(12):
+            levels = rnd.choice([1, 2, 3])
+            configs = []
+            for _ in range(levels):
+                assoc = rnd.choice([1, 2, 4, 8])
+                line = rnd.choice([32, 64])
+                sets = rnd.choice([2, 3, 4, 6, 8])  # incl. non-power-of-two
+                configs.append(
+                    CacheConfig(
+                        size_bytes=line * assoc * sets,
+                        line_bytes=line,
+                        associativity=assoc,
+                        policy=policy,
+                    )
+                )
+            chain_v = build_hierarchy(configs)
+            chain_s = build_hierarchy(configs)
+            for cv, cs in zip(chain_v, chain_s):
+                seed = rnd.randrange(1 << 30)
+                cv._rng = np.random.default_rng(seed)
+                cs._rng = np.random.default_rng(seed)
+            n = rnd.choice([0, 1, 7, 250, 600])
+            addrs = np.array(
+                [rnd.randrange(0, 1 << 14) for _ in range(n)], dtype=np.int64
+            )
+            writes = (
+                np.array([rnd.random() < 0.3 for _ in range(n)], dtype=bool)
+                if rnd.random() < 0.7
+                else None
+            )
+            cut = rnd.choice([None, 0, n // 3])
+            if rnd.random() < 0.5 and n:
+                # Pre-warm both chains identically so initial residency
+                # (dirty lines, stamps) is exercised, not just cold sets.
+                warm = np.array(
+                    [rnd.randrange(0, 1 << 14) for _ in range(60)],
+                    dtype=np.int64,
+                )
+                for a in warm.tolist():
+                    chain_s[0].access(a)
+                chain_v[0].access_many(warm)
+            for i, a in enumerate(addrs.tolist()):
+                if cut is not None and i == cut:
+                    for level in chain_s:
+                        level.stats.reset()
+                chain_s[0].access(
+                    a,
+                    is_write=bool(writes[i]) if writes is not None else False,
+                )
+            hits = chain_v[0].access_many(
+                addrs, is_write=writes, reset_stats_at=cut
+            )
+            assert hits.shape == (n,)
+            for cv, cs in zip(chain_v, chain_s):
+                assert_cache_states_equal(cv, cs)
+                # The RANDOM policy must also leave the generator at the
+                # same stream position (same number of draws consumed).
+                draw_v = int(cv._rng.integers(0, 1 << 20))
+                draw_s = int(cs._rng.integers(0, 1 << 20))
+                assert draw_v == draw_s
+
+    def test_hit_array_matches_scalar_outcomes(self):
+        config = CacheConfig(size_bytes=1024, line_bytes=64, associativity=2)
+        chain_v = build_hierarchy([config])
+        chain_s = build_hierarchy([config])
+        rnd = random.Random(7)
+        addrs = np.array(
+            [rnd.randrange(0, 1 << 12) for _ in range(300)], dtype=np.int64
+        )
+        expected = np.array(
+            [chain_s[0].access(a) for a in addrs.tolist()], dtype=bool
+        )
+        got = chain_v[0].access_many(addrs)
+        assert np.array_equal(got, expected)
+
+    def test_is_write_length_mismatch_raises(self):
+        config = CacheConfig(size_bytes=1024, line_bytes=64, associativity=2)
+        (cache,) = build_hierarchy([config])
+        with pytest.raises(ConfigurationError):
+            cache.access_many(
+                np.zeros(4, dtype=np.int64), is_write=np.zeros(3, dtype=bool)
+            )
+
+
+class TestTlbParity:
+    """translate_*_many vs. the scalar translate loop."""
+
+    @pytest.mark.parametrize("shape", ["no_l2", "unified", "split"])
+    def test_randomized_hierarchies(self, shape):
+        rnd = random.Random(hash(shape) & 0xFFFF)
+        for trial in range(10):
+            l1 = TlbConfig(entries=32, associativity=rnd.choice([2, 4]))
+            l2 = (
+                None
+                if shape == "no_l2"
+                else TlbConfig(entries=128, associativity=8)
+            )
+            unified = shape == "unified"
+            hv = TlbHierarchy(itlb=l1, dtlb=l1, l2=l2, unified_l2=unified)
+            hs = TlbHierarchy(itlb=l1, dtlb=l1, l2=l2, unified_l2=unified)
+            n = rnd.choice([0, 5, 400])
+            daddrs = np.array(
+                [rnd.randrange(0, 1 << 30) for _ in range(n)], dtype=np.int64
+            )
+            iaddrs = np.array(
+                [rnd.randrange(0, 1 << 30) for _ in range(n)], dtype=np.int64
+            )
+            d_hits = [hs.translate_data(a) for a in daddrs.tolist()]
+            i_hits = [hs.translate_inst(a) for a in iaddrs.tolist()]
+            batch_d = hv.translate_data_many(daddrs)
+            batch_i = hv.translate_inst_many(iaddrs)
+            assert np.array_equal(~batch_d.l1_miss, np.array(d_hits, bool))
+            assert np.array_equal(~batch_i.l1_miss, np.array(i_hits, bool))
+            for tv, ts in (
+                (hv.itlb, hs.itlb),
+                (hv.dtlb, hs.dtlb),
+                (hv.l2_itlb, hs.l2_itlb),
+                (hv.l2_dtlb, hs.l2_dtlb),
+            ):
+                if tv is None:
+                    assert ts is None
+                    continue
+                assert_tlb_states_equal(tv, ts)
+            assert hv.page_walks == hs.page_walks
+            assert hv.last_level_misses() == hs.last_level_misses()
+            # Second pass over the same stream exercises warm residency.
+            for a in daddrs.tolist():
+                hs.translate_data(a)
+            hv.translate_data_many(daddrs)
+            assert_tlb_states_equal(hv.dtlb, hs.dtlb)
+            assert hv.page_walks == hs.page_walks
+
+    def test_walks_flag_marks_last_level_misses(self):
+        l1 = TlbConfig(entries=8, associativity=2)
+        h = TlbHierarchy(itlb=l1, dtlb=l1, l2=None)
+        addrs = np.arange(0, 64 << 12, 1 << 12, dtype=np.int64)
+        batch = h.translate_data_many(addrs)
+        assert int(batch.walks.sum()) == h.page_walks
+        # Without an L2, every L1 miss walks.
+        assert np.array_equal(batch.walks, batch.l1_miss)
+
+
+class TestPredictorParity:
+    """predict_many vs. the scalar predict_and_update loop."""
+
+    @pytest.mark.parametrize(
+        "kind", ["static", "bimodal", "gshare", "tournament"]
+    )
+    def test_randomized_streams(self, kind):
+        rnd = random.Random(hash(kind) & 0xFFFF)
+        for trial in range(8):
+            spec = PredictorSpec(
+                kind=kind, table_entries=rnd.choice([64, 256, 1024])
+            )
+            pv = build_predictor(spec)
+            ps = build_predictor(spec)
+            n = rnd.choice([0, 3, 500])
+            pcs = np.array(
+                [rnd.randrange(0, 1 << 16) for _ in range(n)], dtype=np.int64
+            )
+            taken = np.array(
+                [rnd.random() < 0.6 for _ in range(n)], dtype=bool
+            )
+            expected = np.array(
+                [
+                    ps.predict_and_update(int(p), bool(t))
+                    for p, t in zip(pcs, taken)
+                ],
+                dtype=bool,
+            )
+            got = pv.predict_many(pcs, taken)
+            assert np.array_equal(got, expected)
+            for attr in ("_counters", "_chooser", "_history"):
+                if hasattr(ps, attr):
+                    a, b = getattr(pv, attr), getattr(ps, attr)
+                    if isinstance(b, np.ndarray):
+                        assert np.array_equal(a, b)
+                    else:
+                        assert a == b
+            if kind == "tournament":
+                assert np.array_equal(
+                    pv._bimodal._counters, ps._bimodal._counters
+                )
+                assert np.array_equal(
+                    pv._gshare._counters, ps._gshare._counters
+                )
+                assert pv._gshare._history == ps._gshare._history
+
+    def test_base_class_fallback_matches(self):
+        # A predictor without a batch override must still work through
+        # the scalar fallback of BranchPredictor.predict_many.
+        spec = PredictorSpec(kind="bimodal", table_entries=64)
+        pv = build_predictor(spec)
+        ps = build_predictor(spec)
+        pcs = np.arange(120, dtype=np.int64)
+        taken = (pcs % 3 == 0).astype(bool)
+        from repro.uarch.branch import BranchPredictor
+
+        got = BranchPredictor.predict_many(pv, pcs, taken)
+        expected = np.array(
+            [ps.predict_and_update(int(p), bool(t)) for p, t in zip(pcs, taken)],
+            dtype=bool,
+        )
+        assert np.array_equal(got, expected)
+        assert np.array_equal(pv._counters, ps._counters)
+
+
+class TestEngineParity:
+    """profile_trace scalar vs. vector must agree metric-for-metric."""
+
+    @pytest.mark.parametrize("machine", PAPER_MACHINE_NAMES)
+    @pytest.mark.parametrize("warmup", [0.0, 0.25])
+    def test_metrics_identical_across_machines(self, machine, warmup):
+        spec = get_workload("505.mcf_r")
+        config = get_machine(machine)
+        scalar = profile_trace(
+            spec,
+            config,
+            instructions=3_000,
+            warmup_fraction=warmup,
+            kernel="scalar",
+        )
+        vector = profile_trace(
+            spec,
+            config,
+            instructions=3_000,
+            warmup_fraction=warmup,
+            kernel="vector",
+        )
+        assert scalar.metrics == vector.metrics
+        assert scalar.cpi_stack == vector.cpi_stack
+        assert scalar.instructions == vector.instructions
+
+    def test_sweep_digest_identical(self):
+        from repro.perf.dataset import build_feature_matrix
+
+        workloads = ["505.mcf_r", "525.x264_r"]
+        machines = PAPER_MACHINE_NAMES[:2]
+        digests = {}
+        for kernel in TRACE_KERNELS:
+            profiler = Profiler(
+                engine="trace", trace_instructions=2_000, trace_kernel=kernel
+            )
+            matrix = build_feature_matrix(
+                workloads=workloads, machines=machines, profiler=profiler
+            )
+            digests[kernel] = matrix.digest()
+        assert digests["scalar"] == digests["vector"]
+
+
+class TestKernelKnob:
+    """Selection, validation and cache keying of the kernel knob."""
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            validate_trace_kernel("simd")
+        with pytest.raises(ConfigurationError):
+            resolve_trace_kernel("turbo")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_KERNEL", raising=False)
+        assert default_trace_kernel() == "vector"
+        assert resolve_trace_kernel(None) == "vector"
+        monkeypatch.setenv("REPRO_TRACE_KERNEL", "scalar")
+        assert default_trace_kernel() == "scalar"
+        assert resolve_trace_kernel(None) == "scalar"
+        # An explicit choice still beats the environment.
+        assert resolve_trace_kernel("vector") == "vector"
+        monkeypatch.setenv("REPRO_TRACE_KERNEL", "bogus")
+        with pytest.raises(ConfigurationError):
+            default_trace_kernel()
+
+    def test_profiler_resolves_kernel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_KERNEL", raising=False)
+        assert Profiler(engine="trace").trace_kernel == "vector"
+        assert (
+            Profiler(engine="trace", trace_kernel="scalar").trace_kernel
+            == "scalar"
+        )
+        monkeypatch.setenv("REPRO_TRACE_KERNEL", "scalar")
+        assert Profiler(engine="trace").trace_kernel == "scalar"
+        with pytest.raises(ConfigurationError):
+            Profiler(engine="trace", trace_kernel="nope")
+
+    def test_zero_instructions_rejected(self):
+        spec = get_workload("505.mcf_r")
+        config = get_machine(PAPER_MACHINE_NAMES[0])
+        for kernel in TRACE_KERNELS:
+            with pytest.raises(ConfigurationError):
+                profile_trace(spec, config, instructions=0, kernel=kernel)
+            with pytest.raises(ConfigurationError):
+                profile_trace(spec, config, instructions=-5, kernel=kernel)
+        with pytest.raises(ConfigurationError):
+            Profiler(engine="trace", trace_instructions=0)
+
+    def test_cache_key_distinguishes_trace_kernels_only(self):
+        spec = get_workload("505.mcf_r")
+        config = get_machine(PAPER_MACHINE_NAMES[0])
+        trace_scalar = cache_key(
+            spec, config, "trace", 1000, 1, trace_kernel="scalar"
+        )
+        trace_vector = cache_key(
+            spec, config, "trace", 1000, 1, trace_kernel="vector"
+        )
+        assert trace_scalar != trace_vector
+        # The analytic engine has no trace kernel: keys must not differ.
+        analytic_scalar = cache_key(
+            spec, config, "analytic", 1000, 1, trace_kernel="scalar"
+        )
+        analytic_vector = cache_key(
+            spec, config, "analytic", 1000, 1, trace_kernel="vector"
+        )
+        assert analytic_scalar == analytic_vector
+
+    def test_cli_flag_threads_into_profiler(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_KERNEL", raising=False)
+        from repro.cli import _make_profiler, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "profile",
+                "505.mcf_r",
+                "--engine",
+                "trace",
+                "--trace-kernel",
+                "scalar",
+                "--no-disk-cache",
+            ]
+        )
+        profiler = _make_profiler(args)
+        assert profiler.trace_kernel == "scalar"
+        args = parser.parse_args(
+            ["profile", "505.mcf_r", "--engine", "trace", "--no-disk-cache"]
+        )
+        assert _make_profiler(args).trace_kernel == "vector"
