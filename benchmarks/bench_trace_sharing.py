@@ -1,0 +1,119 @@
+"""Benchmark — shared-trace profiling across the 7-machine sweep.
+
+Times a cold trace-engine sweep (every paper machine x a workload set)
+under both trace seed scopes.  The ``machine`` scope reproduces the
+historical behaviour — every (workload, machine) pair synthesizes its
+own trace — while the default ``geometry`` scope synthesizes once per
+distinct (workload, geometry) and replays it from the
+:class:`~repro.perf.trace_cache.TraceCache`.  The seven paper machines
+span exactly two geometries, so the sweep's synthesis work drops from
+``7 x W`` to ``2 x W``; the bench counter-verifies both counts from the
+cache statistics and asserts the acceptance bar — the shared-trace
+sweep is >= 1.25x faster cold.
+
+The workload set is the emerging-suite graph pair (PageRank on two
+graph scales): pointer-chasing graph analytics carry the deepest reuse
+stacks, so trace synthesis — an explicit Python LRU-stack replay — is
+the dominant per-trace cost (~35-40% of a cold profile) and the sweep
+is the study's most synthesis-bound.  Cache/TLB/branch simulation is
+per-machine work that sharing cannot remove, so mixed SPEC sweeps see
+a smaller (but still counter-verified 7x->2x synthesis) win; both
+numbers are recorded in EXPERIMENTS.md.
+"""
+
+import time
+
+from repro import obs
+from repro.perf.trace_cache import TraceCache, machine_geometry
+from repro.perf.trace_engine import profile_trace
+from repro.uarch.machine import PAPER_MACHINE_NAMES, get_machine, paper_machines
+from repro.workloads.spec import get_workload
+
+WORKLOADS = ("pr-g1", "pr-g2")
+TRACE_INSTRUCTIONS = 200_000
+
+#: The tentpole acceptance bar: cold 7-machine sweep speedup of the
+#: geometry-shared traces over per-machine synthesis.
+SPEEDUP_FLOOR = 1.25
+
+
+def _sweep(seed_scope):
+    """One cold sweep: fresh cache, every (workload, machine) pair."""
+    cache = TraceCache()
+    reports = []
+    for workload in WORKLOADS:
+        spec = get_workload(workload)
+        for name in PAPER_MACHINE_NAMES:
+            reports.append(
+                profile_trace(
+                    spec,
+                    get_machine(name),
+                    instructions=TRACE_INSTRUCTIONS,
+                    seed_scope=seed_scope,
+                    trace_cache=cache,
+                )
+            )
+    return reports, cache.stats()
+
+
+def test_shared_trace_sweep_speedup(run_once, benchmark):
+    geometries = {machine_geometry(m) for m in paper_machines()}
+    assert len(geometries) == 2
+
+    # Warm both paths once (allocator and import warm-up) so neither
+    # timed run pays first-call costs; caches themselves stay cold
+    # because every sweep builds a fresh one.
+    _sweep("machine")
+    _sweep("geometry")
+    cold_time = shared_time = float("inf")
+    obs.enable()
+    try:
+        # Best-of-3 under identical obs conditions — min-of-N is the
+        # standard noise-robust wall-clock estimator for deterministic
+        # code.
+        for _ in range(3):
+            t0 = time.perf_counter()
+            _, cold_stats = _sweep("machine")
+            cold_time = min(cold_time, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            _, shared_stats = _sweep("geometry")
+            shared_time = min(shared_time, time.perf_counter() - t0)
+    finally:
+        obs.disable()
+    obs.reset()
+
+    # Counter-verified synthesis work: misses are syntheses.
+    pairs = len(WORKLOADS) * len(PAPER_MACHINE_NAMES)
+    assert cold_stats.misses == pairs
+    assert shared_stats.misses == len(WORKLOADS) * len(geometries)
+    assert shared_stats.hits == pairs - shared_stats.misses
+
+    # The ledger-recorded benchmark run measures one more shared sweep;
+    # the robust comparison numbers ride in extra_info.
+    reports, _ = run_once(_sweep, "geometry")
+    assert len(reports) == pairs
+    benchmark.extra_info["cold_seconds"] = cold_time
+    benchmark.extra_info["shared_seconds"] = shared_time
+    benchmark.extra_info["speedup"] = cold_time / shared_time
+    benchmark.extra_info["syntheses_machine_scope"] = cold_stats.misses
+    benchmark.extra_info["syntheses_geometry_scope"] = shared_stats.misses
+    benchmark.extra_info["trace_instructions"] = TRACE_INSTRUCTIONS
+    assert cold_time >= SPEEDUP_FLOOR * shared_time, (
+        f"machine-scope {cold_time:.3f}s vs geometry-scope "
+        f"{shared_time:.3f}s "
+        f"({cold_time / shared_time:.2f}x < {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_shared_traces_keep_reports_well_formed(run_once, benchmark):
+    # Replayed traces must produce complete, per-machine reports: the
+    # cache shares streams, never results.
+    reports, stats = run_once(_sweep, "geometry")
+    assert len(reports) == len(WORKLOADS) * len(PAPER_MACHINE_NAMES)
+    machines = {report.machine for report in reports}
+    assert len(machines) == len(PAPER_MACHINE_NAMES)
+    cpis = {
+        (report.workload, report.machine): report.metrics for report in reports
+    }
+    assert len(cpis) == len(reports)
+    benchmark.extra_info["synthesis_misses"] = stats.misses

@@ -31,7 +31,10 @@ The profiling subcommands (``profile``, ``dataset``, ``export``)
 additionally accept ``--jobs N`` / ``--backend`` (parallel sweep),
 ``--trace-kernel {scalar,vector}`` (trace-engine kernels: the
 vectorized batch kernels or the bit-identical scalar oracle;
-``$REPRO_TRACE_KERNEL`` supplies the default) and ``--cache-dir`` /
+``$REPRO_TRACE_KERNEL`` supplies the default), ``--trace-seed-scope
+{geometry,machine}`` (trace identity: geometry-shared traces with
+paired replay, or the historical machine-salted seeds;
+``$REPRO_TRACE_SEED_SCOPE`` supplies the default) and ``--cache-dir`` /
 ``--no-disk-cache`` / ``--cache-clear`` (persistent result cache;
 ``$REPRO_CACHE_DIR`` supplies a default root).
 """
@@ -116,6 +119,19 @@ def _exec_options() -> argparse.ArgumentParser:
             "trace-engine simulation kernels: vectorized batch kernels "
             "or the bit-identical scalar oracle "
             "(default: $REPRO_TRACE_KERNEL, else vector)"
+        ),
+    )
+    group.add_argument(
+        "--trace-seed-scope",
+        choices=("geometry", "machine"),
+        default=None,
+        dest="trace_seed_scope",
+        help=(
+            "trace identity: 'geometry' shares one synthesized trace "
+            "across machines with equal (line, page) geometry (paired "
+            "replay); 'machine' keeps the historical machine-salted "
+            "seeds bit-exactly "
+            "(default: $REPRO_TRACE_SEED_SCOPE, else geometry)"
         ),
     )
     group.add_argument(
@@ -335,7 +351,8 @@ def _make_profiler(args: argparse.Namespace, engine: str = "analytic"):
         cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
     profiler = Profiler(engine=getattr(args, "engine", engine),
                         cache_dir=cache_dir,
-                        trace_kernel=getattr(args, "trace_kernel", None))
+                        trace_kernel=getattr(args, "trace_kernel", None),
+                        seed_scope=getattr(args, "trace_seed_scope", None))
     if args.cache_clear and profiler.disk_cache is not None:
         removed = profiler.disk_cache.clear()
         print(f"cleared {removed} cached profiles from "

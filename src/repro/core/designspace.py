@@ -101,7 +101,10 @@ def standard_design_space(
     variants = [DesignVariant("baseline", base)]
 
     def derive(tag: str, **changes) -> DesignVariant:
-        # distinct machine names keep profiler caching per-variant
+        # The composed name is diagnostic, not load-bearing: profiler
+        # cache identity comes from the machine config's content digest
+        # (repro.perf.profiler.pair_key), so two different variants can
+        # never collide even if their tags repeat.
         machine = replace(base, name=f"{base.name}+{tag}", **changes)
         return DesignVariant(tag, machine)
 
@@ -139,6 +142,14 @@ def evaluate_design_space(
     studies).  With ``jobs > 1`` every (variant, workload) profile is
     prefilled through the parallel executor first; the evaluation then
     reads the profiler cache, so results match the serial path exactly.
+
+    Under the trace engine with the default ``geometry`` seed scope,
+    baseline and variants replay the *same* synthesized trace whenever
+    a variant keeps the baseline's (line_bytes, page_bytes) — the
+    paired-replay / common-random-numbers design: speedups compare the
+    two configs on identical streams, so they carry no synthesis noise
+    and are invariant to the base seed (a latency-only variant's
+    speedup reflects only the structural change).
     """
     if not variants:
         raise AnalysisError("need at least one design variant")

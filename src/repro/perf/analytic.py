@@ -27,17 +27,14 @@ from repro.obs.trace import instrument
 from repro.perf.counters import CounterReport, Metric
 from repro.uarch.machine import MachineConfig
 from repro.uarch.pipeline import compute_cpi_stack
+from repro.workloads.constants import AVERAGE_INSTRUCTION_BYTES, TAKEN_LINE_BREAK
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["profile_analytic", "AVERAGE_INSTRUCTION_BYTES"]
 
-#: Average instruction size used to convert instructions to fetched
-#: cache lines (x86 averages ~4 bytes; fixed 4 bytes on SPARC).
-AVERAGE_INSTRUCTION_BYTES = 4.0
-
-#: Fraction of taken branches whose target lies in a different cache
-#: line than the branch (short forward branches stay in-line).
-_TAKEN_LINE_BREAK = 0.6
+# Backwards-compatible alias; the canonical definitions moved to
+# repro.workloads.constants, shared with the trace synthesizer.
+_TAKEN_LINE_BREAK = TAKEN_LINE_BREAK
 
 
 @dataclass(frozen=True)

@@ -169,6 +169,7 @@ def build_feature_matrix(
         jobs=jobs,
         engine=profiler.engine,
         kernel=getattr(profiler, "trace_kernel", "vector"),
+        seed_scope=getattr(profiler, "seed_scope", "geometry"),
     ):
         if jobs > 1:
             from repro.perf.executor import ProfilingExecutor

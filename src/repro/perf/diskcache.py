@@ -35,6 +35,7 @@ import json
 import os
 import pickle
 import tempfile
+from functools import lru_cache
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
@@ -48,6 +49,7 @@ __all__ = [
     "cache_key",
     "canonical_encoding",
     "code_version",
+    "content_fingerprint",
     "default_cache_dir",
 ]
 
@@ -71,6 +73,7 @@ _CODE_GLOBS = (
     "perf/trace_engine.py",
     "perf/counters.py",
     "uarch/*.py",
+    "workloads/constants.py",
     "workloads/profiles.py",
     "workloads/synthesis.py",
 )
@@ -126,6 +129,22 @@ def canonical_encoding(value: object) -> object:
     )
 
 
+@lru_cache(maxsize=4096)
+def content_fingerprint(value: object) -> str:
+    """Short content digest of one frozen config dataclass.
+
+    Memoized per object (all config dataclasses are frozen and
+    hashable), so hot paths — the profiler's per-pair cache identity —
+    pay the canonicalization cost once per distinct spec or machine.
+    Two structurally equal values always share a fingerprint; any field
+    difference (not just the ``name`` tag) changes it.
+    """
+    encoded = json.dumps(
+        canonical_encoding(value), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(encoded.encode()).hexdigest()[:16]
+
+
 def cache_key(
     spec: WorkloadSpec,
     machine: MachineConfig,
@@ -133,13 +152,16 @@ def cache_key(
     trace_instructions: int,
     seed: int,
     trace_kernel: str = "vector",
+    seed_scope: str = "geometry",
 ) -> str:
     """Content hash of everything that determines one profile result.
 
     ``trace_kernel`` is keyed for the trace engine even though the
     scalar and vector kernels are bit-identical by contract: separate
     entries mean a hypothetical kernel divergence can never be masked
-    by a result the other kernel persisted.
+    by a result the other kernel persisted.  ``seed_scope`` is keyed
+    because it changes the synthesized trace (geometry-shared vs.
+    machine-salted seeds) and therefore every trace-engine metric.
     """
     payload = {
         "schema": SCHEMA_VERSION,
@@ -155,6 +177,7 @@ def cache_key(
                 "instructions": trace_instructions,
                 "seed": seed,
                 "kernel": trace_kernel,
+                "seed_scope": seed_scope,
             }
             if engine == "trace"
             else {}

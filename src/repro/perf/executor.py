@@ -4,9 +4,11 @@ The paper's measurement sweep — 80 workloads x 7 machines x 2 engines —
 is embarrassingly parallel: every (workload, machine) pair is an
 independent, deterministic computation.  :class:`ProfilingExecutor`
 fans a pair list out over a ``concurrent.futures`` thread or process
-pool in fixed-size chunks and reassembles the results **by input
-index**, so the output is identical to the serial sweep regardless of
-worker count, chunk size, backend or completion order (see DESIGN.md,
+pool in fixed-size chunks — grouped by workload
+(:func:`workload_chunks`) so a pool worker synthesizes each shared
+trace at most once — and reassembles the results **by input index**,
+so the output is identical to the serial sweep regardless of worker
+count, chunk size, backend or completion order (see DESIGN.md,
 "Parallel execution & caching").
 
 Interplay with the caches: the main process probes the profiler's
@@ -46,11 +48,12 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.progress import progress as obs_progress
 from repro.obs.trace import span
 from repro.perf.counters import CounterReport
-from repro.perf.profiler import Profiler, compute_report
+from repro.perf.diskcache import content_fingerprint
+from repro.perf.profiler import Profiler, compute_report, pair_key
 from repro.uarch.machine import MachineConfig, get_machine
 from repro.workloads.spec import WorkloadSpec, get_workload
 
-__all__ = ["ProfilingExecutor", "chunk_spans", "BACKENDS"]
+__all__ = ["ProfilingExecutor", "chunk_spans", "workload_chunks", "BACKENDS"]
 
 #: Supported pool backends ("serial" bypasses the pool entirely).
 BACKENDS = ("serial", "thread", "process")
@@ -63,7 +66,7 @@ Pair = Tuple[WorkloadSpec, MachineConfig]
 
 # Worker payload: engine parameters plus the chunk's pairs, tagged with
 # the chunk index so results can be reassembled deterministically.
-_ChunkPayload = Tuple[int, str, int, int, Optional[str], List[Pair]]
+_ChunkPayload = Tuple[int, str, int, int, Optional[str], str, List[Pair]]
 
 
 def chunk_spans(n_tasks: int, jobs: int, chunk_size: Optional[int] = None) -> List[range]:
@@ -86,6 +89,46 @@ def chunk_spans(n_tasks: int, jobs: int, chunk_size: Optional[int] = None) -> Li
     ]
 
 
+def workload_chunks(
+    pending: Sequence[Pair], jobs: int, chunk_size: Optional[int] = None
+) -> List[List[int]]:
+    """Chunk pending pairs with same-workload pairs kept adjacent.
+
+    Returns index lists into ``pending``: indices are regrouped by
+    workload (stable first-appearance order; within a workload the
+    input order is kept) and then sliced into :func:`chunk_spans`-sized
+    chunks.  Same-workload pairs landing in the same chunk lets a pool
+    worker synthesize each shared trace once and replay it for every
+    machine in the chunk — without grouping, a machine-major design
+    sweep interleaves workloads so every process worker re-synthesizes
+    every trace.  The regrouping is a pure dispatch-order permutation:
+    results are reassembled by input index, so it can never change a
+    sweep's output, and it depends only on the pending list and
+    ``(jobs, chunk_size)`` — never on timing.
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    if chunk_size is None:
+        chunk_size = max(
+            1, math.ceil(len(pending) / (jobs * _CHUNKS_PER_WORKER))
+        )
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be >= 1")
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    order: List[Tuple[str, str]] = []
+    for index, (spec, _config) in enumerate(pending):
+        key = (spec.name, content_fingerprint(spec))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(index)
+    ordered = [index for key in order for index in groups[key]]
+    return [
+        ordered[start:start + chunk_size]
+        for start in range(0, len(ordered), chunk_size)
+    ]
+
+
 def _pair_label(spec: WorkloadSpec, config: MachineConfig) -> str:
     return f"{spec.name}@{config.name}"
 
@@ -98,7 +141,15 @@ def _profile_chunk(payload: _ChunkPayload) -> Tuple[int, List[Tuple[str, object]
     are marshalled as strings because not every exception survives
     pickling back from a process worker.
     """
-    chunk_index, engine, trace_instructions, seed, trace_kernel, pairs = payload
+    (
+        chunk_index,
+        engine,
+        trace_instructions,
+        seed,
+        trace_kernel,
+        seed_scope,
+        pairs,
+    ) = payload
     outcomes: List[Tuple[str, object]] = []
     with span("executor.chunk", chunk=chunk_index, pairs=len(pairs)):
         for spec, config in pairs:
@@ -110,6 +161,7 @@ def _profile_chunk(payload: _ChunkPayload) -> Tuple[int, List[Tuple[str, object]
                     trace_instructions=trace_instructions,
                     seed=seed,
                     trace_kernel=trace_kernel,
+                    seed_scope=seed_scope,
                 )
             except KeyboardInterrupt:
                 raise
@@ -194,10 +246,12 @@ class ProfilingExecutor:
         # Probe the caches up front; only misses reach the pool.  The
         # identical pair can occur twice in one sweep (e.g. the design
         # space baseline) — dispatch it once, fill every position.
-        pending_positions: Dict[Tuple[str, str], List[int]] = {}
+        # Positions share the profiler's content-keyed pair identity, so
+        # equal-content pairs dedupe even under reused name tags.
+        pending_positions: Dict[Tuple[str, str, str, str], List[int]] = {}
         pending: List[Pair] = []
         for index, (spec, config) in enumerate(resolved):
-            name_key = (spec.name, config.name)
+            name_key = pair_key(spec, config)
             if name_key in pending_positions:
                 pending_positions[name_key].append(index)
                 continue
@@ -225,18 +279,18 @@ class ProfilingExecutor:
         spec: WorkloadSpec,
         config: MachineConfig,
         report: CounterReport,
-        positions: Dict[Tuple[str, str], List[int]],
+        positions: Dict[Tuple[str, str, str, str], List[int]],
         results: List[Optional[CounterReport]],
     ) -> None:
         self.profiler.adopt(spec, config, report)
-        for index in positions[(spec.name, config.name)]:
+        for index in positions[pair_key(spec, config)]:
             results[index] = report
         obs_metrics.incr("executor.tasks.completed")
 
     def _run_serial(
         self,
         pending: List[Pair],
-        positions: Dict[Tuple[str, str], List[int]],
+        positions: Dict[Tuple[str, str, str, str], List[int]],
         results: List[Optional[CounterReport]],
         ticker,
     ) -> None:
@@ -249,6 +303,7 @@ class ProfilingExecutor:
                     trace_instructions=self.profiler.trace_instructions,
                     seed=self.profiler.seed,
                     trace_kernel=getattr(self.profiler, "trace_kernel", None),
+                    seed_scope=getattr(self.profiler, "seed_scope", None),
                 )
             except KeyboardInterrupt:
                 raise
@@ -262,11 +317,11 @@ class ProfilingExecutor:
     def _run_pool(
         self,
         pending: List[Pair],
-        positions: Dict[Tuple[str, str], List[int]],
+        positions: Dict[Tuple[str, str, str, str], List[int]],
         results: List[Optional[CounterReport]],
         ticker,
     ) -> None:
-        chunks = chunk_spans(len(pending), self.jobs, self.chunk_size)
+        chunks = workload_chunks(pending, self.jobs, self.chunk_size)
         pool_type = (
             ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
         )
@@ -277,6 +332,7 @@ class ProfilingExecutor:
                 self.profiler.trace_instructions,
                 self.profiler.seed,
                 getattr(self.profiler, "trace_kernel", None),
+                getattr(self.profiler, "seed_scope", "geometry"),
                 [pending[i] for i in indices],
             )
             for chunk_index, indices in enumerate(chunks)
@@ -311,10 +367,10 @@ class ProfilingExecutor:
 
     def _collect(
         self,
-        chunks: List[range],
+        chunks: List[List[int]],
         futures: List[Future],
         pending: List[Pair],
-        positions: Dict[Tuple[str, str], List[int]],
+        positions: Dict[Tuple[str, str, str, str], List[int]],
         results: List[Optional[CounterReport]],
         ticker,
     ) -> None:

@@ -26,13 +26,32 @@ from repro.errors import ConfigurationError
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.perf.counters import CounterReport
-from repro.perf.diskcache import DiskCache, cache_key
+from repro.perf.diskcache import DiskCache, cache_key, content_fingerprint
 from repro.uarch.machine import MachineConfig, get_machine
 from repro.workloads.spec import WorkloadSpec, get_workload
 
-__all__ = ["CacheInfo", "Profiler", "profile", "compute_report"]
+__all__ = ["CacheInfo", "Profiler", "profile", "compute_report", "pair_key"]
 
 _ENGINES = ("analytic", "trace")
+
+
+def pair_key(
+    spec: WorkloadSpec, config: MachineConfig
+) -> Tuple[str, str, str, str]:
+    """In-memory cache identity of one (workload, machine) pair.
+
+    Keyed by content fingerprints, not just name tags: a renamed copy
+    of a machine (a design-space variant tagged ``base+l1d:64KB``)
+    shares nothing with its base by name, yet two *different* configs
+    accidentally sharing a name must never collide.  Names stay in the
+    key purely to keep collisions diagnosable.
+    """
+    return (
+        spec.name,
+        content_fingerprint(spec),
+        config.name,
+        content_fingerprint(config),
+    )
 
 
 class CacheInfo(NamedTuple):
@@ -63,6 +82,7 @@ def compute_report(
     trace_instructions: int = 200_000,
     seed: int = 2017,
     trace_kernel: Optional[str] = None,
+    seed_scope: Optional[str] = None,
 ) -> CounterReport:
     """Run one engine on one (workload, machine) pair, uncached.
 
@@ -70,7 +90,9 @@ def compute_report(
     serial path share the exact same computation, spans included.
     ``trace_kernel`` selects the trace engine's simulation kernels
     (``"vector"``/``"scalar"``; ``None`` means the session default) and
-    is ignored by the analytic engine.
+    ``seed_scope`` the trace identity (``"geometry"``/``"machine"``;
+    ``None`` means the session default); both are ignored by the
+    analytic engine.
     """
     with span(
         "profile",
@@ -90,6 +112,7 @@ def compute_report(
             instructions=trace_instructions,
             seed=seed,
             kernel=trace_kernel,
+            seed_scope=seed_scope,
         )
 
 
@@ -112,6 +135,14 @@ class Profiler:
         are bit-identical.  ``None`` resolves to the session default
         (``$REPRO_TRACE_KERNEL`` or ``"vector"``).  Ignored by the
         analytic engine.
+    seed_scope:
+        Trace identity for the trace engine (see
+        :mod:`repro.perf.trace_cache`): ``"geometry"`` shares one
+        synthesized trace across machines with equal (line_bytes,
+        page_bytes); ``"machine"`` keeps the historical machine-salted
+        seeds bit-exactly.  ``None`` resolves to the session default
+        (``$REPRO_TRACE_SEED_SCOPE`` or ``"geometry"``).  Ignored by
+        the analytic engine.
     cache_dir:
         Root of a persistent on-disk result cache; ``None`` (default)
         keeps caching purely in-process.
@@ -124,6 +155,7 @@ class Profiler:
         seed: int = 2017,
         cache_dir: Optional[Union[str, Path]] = None,
         trace_kernel: Optional[str] = None,
+        seed_scope: Optional[str] = None,
     ) -> None:
         if engine not in _ENGINES:
             raise ConfigurationError(
@@ -133,16 +165,18 @@ class Profiler:
             raise ConfigurationError(
                 f"instructions must be > 0, got {trace_instructions}"
             )
+        from repro.perf.trace_cache import resolve_seed_scope
         from repro.uarch.kernels import resolve_trace_kernel
 
         self.engine = engine
         self.trace_instructions = trace_instructions
         self.seed = seed
         self.trace_kernel = resolve_trace_kernel(trace_kernel)
+        self.seed_scope = resolve_seed_scope(seed_scope)
         self.disk_cache: Optional[DiskCache] = (
             DiskCache(cache_dir) if cache_dir is not None else None
         )
-        self._cache: Dict[Tuple[str, str], CounterReport] = {}
+        self._cache: Dict[Tuple[str, str, str, str], CounterReport] = {}
         # One lock makes lookups, stat updates and cache_info() mutually
         # consistent when worker threads and a reader race mid-sweep.
         self._lock = threading.Lock()
@@ -160,6 +194,7 @@ class Profiler:
             self.trace_instructions,
             self.seed,
             trace_kernel=self.trace_kernel,
+            seed_scope=self.seed_scope,
         )
 
     def lookup(
@@ -174,7 +209,7 @@ class Profiler:
         probe-then-adopt sequence (the parallel executor) counts each
         pair once.
         """
-        key = (spec.name, config.name)
+        key = pair_key(spec, config)
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
@@ -210,7 +245,7 @@ class Profiler:
     ) -> None:
         """Install a computed report into the memory and disk caches."""
         with self._lock:
-            self._cache[(spec.name, config.name)] = report
+            self._cache[pair_key(spec, config)] = report
         if self.disk_cache is not None:
             self.disk_cache.store(self._disk_key(spec, config), report)
             obs_metrics.incr("profiler.diskcache.write")
@@ -234,6 +269,7 @@ class Profiler:
             trace_instructions=self.trace_instructions,
             seed=self.seed,
             trace_kernel=self.trace_kernel,
+            seed_scope=self.seed_scope,
         )
         self.adopt(spec, config, report)
         return report

@@ -119,12 +119,15 @@ class TlbBatch:
     walks: np.ndarray
 
 
-@dataclass
+@dataclass(frozen=True)
 class PageWalker:
     """Cost model for hardware page walks.
 
     ``walk_cycles`` is the average full-walk latency; walks that hit the
     page-walk caches are cheaper, captured by ``cached_fraction``.
+    Frozen (like every other config dataclass) so a
+    :class:`~repro.uarch.machine.MachineConfig` is hashable and cache
+    identities can be memoized per config object.
     """
 
     walk_cycles: float = 30.0

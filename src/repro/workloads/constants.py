@@ -1,0 +1,27 @@
+"""Shared instruction-fetch model constants.
+
+Both profiling engines convert retired instructions into fetched cache
+lines with the same two parameters, so the trace synthesizer
+(:mod:`repro.workloads.synthesis`) and the closed-form engine
+(:mod:`repro.perf.analytic`) stay consistent by construction.  They
+live in this leaf module — imported by both sides — so the synthesizer
+no longer needs a mid-function import of :mod:`repro.perf.analytic`
+to break the ``perf -> workloads`` / ``workloads -> perf`` cycle.
+
+These values are part of the profiling result identity: the module is
+hashed into the disk-cache code version (see
+:data:`repro.perf.diskcache._CODE_GLOBS`), so editing them invalidates
+persisted profiles automatically.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AVERAGE_INSTRUCTION_BYTES", "TAKEN_LINE_BREAK"]
+
+#: Average instruction size used to convert instructions to fetched
+#: cache lines (x86 averages ~4 bytes; fixed 4 bytes on SPARC).
+AVERAGE_INSTRUCTION_BYTES = 4.0
+
+#: Fraction of taken branches whose target lies in a different cache
+#: line than the branch (short forward branches stay in-line).
+TAKEN_LINE_BREAK = 0.6

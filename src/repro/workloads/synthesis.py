@@ -18,12 +18,13 @@ statistical properties match the spec:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.workloads.constants import AVERAGE_INSTRUCTION_BYTES, TAKEN_LINE_BREAK
 from repro.workloads.profiles import ReuseProfile
 from repro.workloads.spec import WorkloadSpec
 
@@ -168,11 +169,9 @@ def synthesize_trace(
     )
     data_is_store = rng.random(n_mem) < store_share
 
-    from repro.perf.analytic import AVERAGE_INSTRUCTION_BYTES, _TAKEN_LINE_BREAK
-
     taken_rate = mix.branch * spec.branches.taken_fraction
     ifetch_per_inst = (
-        AVERAGE_INSTRUCTION_BYTES / line_bytes + _TAKEN_LINE_BREAK * taken_rate
+        AVERAGE_INSTRUCTION_BYTES / line_bytes + TAKEN_LINE_BREAK * taken_rate
     )
     n_ifetch = int(round(instructions * ifetch_per_inst))
     ifetch_addresses = synthesize_address_stream(
@@ -191,9 +190,7 @@ def synthesize_trace(
     # train, which no real steady-state window exhibits).  Target ~100
     # dynamic occurrences per site.
     hot_sites = max(16, min(spec.branches.static_branches, n_branch // 100))
-    from dataclasses import replace as _replace
-
-    window_branches = _replace(spec.branches, static_branches=hot_sites)
+    window_branches = replace(spec.branches, static_branches=hot_sites)
     branch_sites, branch_taken = window_branches.sample_outcomes(rng, n_branch)
     return SyntheticTrace(
         instructions=instructions,

@@ -131,7 +131,7 @@ class TestWorkerFailure:
         spec = get_workload("505.mcf_r")
         config = get_machine("skylake-i7-6700")
         index, outcomes = _profile_chunk(
-            (7, "trace", -1, 2017, "vector", [(spec, config)])
+            (7, "trace", -1, 2017, "vector", "geometry", [(spec, config)])
         )
         assert index == 7
         tag, label, trace_text = outcomes[0]

@@ -5,12 +5,16 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.perf.analytic import profile_analytic
 from repro.perf.counters import SIMILARITY_METRICS, Metric
-from repro.perf.trace_engine import profile_trace
+from repro.perf.trace_engine import ENGINE_AGREEMENT_TOLERANCES, profile_trace
 from repro.uarch.machine import get_machine
 from repro.workloads.spec import get_workload
 
 SKYLAKE = get_machine("skylake-i7-6700")
 WINDOW = 80_000
+
+# Single source of truth for the engine-agreement envelope; the bounds
+# live next to the engine so widening them is an explicit model change.
+TOL = ENGINE_AGREEMENT_TOLERANCES
 
 
 @pytest.fixture(scope="module")
@@ -63,7 +67,7 @@ class TestEngineAgreement:
     def test_l1d_mpki_close(self, engines):
         for name, (analytic, trace) in engines.items():
             assert trace[Metric.L1D_MPKI] == pytest.approx(
-                analytic[Metric.L1D_MPKI], rel=0.25, abs=1.5
+                analytic[Metric.L1D_MPKI], **TOL["l1d_mpki"]
             ), name
 
     def test_l1i_mpki_close(self, engines):
@@ -71,7 +75,7 @@ class TestEngineAgreement:
         # instruction side; agreement is absolute-with-floor.
         for name, (analytic, trace) in engines.items():
             assert trace[Metric.L1I_MPKI] == pytest.approx(
-                analytic[Metric.L1I_MPKI], rel=0.8, abs=2.0
+                analytic[Metric.L1I_MPKI], **TOL["l1i_mpki"]
             ), name
 
     def test_taken_pki_close(self, engines):
@@ -79,7 +83,7 @@ class TestEngineAgreement:
         # taken share wobbles around the profile's target.
         for name, (analytic, trace) in engines.items():
             assert trace[Metric.BRANCH_TAKEN_PKI] == pytest.approx(
-                analytic[Metric.BRANCH_TAKEN_PKI], rel=0.25, abs=2.0
+                analytic[Metric.BRANCH_TAKEN_PKI], **TOL["branch_taken_pki"]
             ), name
 
     def test_l1d_ordering_preserved(self, engines):
@@ -103,22 +107,24 @@ class TestEngineAgreement:
         # (streaming) lines densely into pages, which the analytic page
         # model does not capture; agreement is asserted only where TLB
         # pressure is the defining behaviour (mcf, cactuBSSN).
+        factor = TOL["l1_dtlb_mpmi"]["factor"]
         for name, (analytic, trace) in engines.items():
             a, t = analytic[Metric.L1_DTLB_MPMI], trace[Metric.L1_DTLB_MPMI]
             if a < 20_000:
                 continue
-            assert 1 / 2 <= t / a <= 2, name
+            assert 1 / factor <= t / a <= factor, name
 
     def test_branch_mpki_within_factor_five(self, engines):
         # The synthetic streams realize less learnable structure than
         # the analytic pattern model assumes, so the exact predictors
         # mispredict ~2x more; ordering (tested above) is what the
         # downstream analyses rely on.
+        factor = TOL["branch_mpki"]["factor"]
         for name, (analytic, trace) in engines.items():
             a, t = analytic[Metric.BRANCH_MPKI], trace[Metric.BRANCH_MPKI]
             if a < 0.5 and t < 0.5:
                 continue
-            assert 1 / 5 <= t / a <= 5, name
+            assert 1 / factor <= t / a <= factor, name
 
     def test_mix_metrics_identical(self, engines):
         for name, (analytic, trace) in engines.items():
