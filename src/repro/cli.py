@@ -17,15 +17,20 @@ Exposes the paper's analyses as ``repro`` subcommands::
     repro obs history                   # the run-history ledger
     repro obs diff -2 -1
     repro obs check                     # regression sentinel (CI)
+    repro obs flame --out flame.html    # flamegraph of a --profile run
+    repro obs top -n 10                 # hottest spans and frames
 
 Every subcommand accepts ``--obs {off,summary,json}``,
-``--trace-out FILE`` (Chrome-trace export) and ``--metrics-out FILE``
-(OpenMetrics text exposition); ``repro obs-report`` pretty-prints the
-manifest of the last observed run (``--json`` for scripting).  Every
-``--obs`` run is appended to the run-history ledger, which ``repro obs
-history`` lists, ``repro obs diff`` compares pairwise and ``repro obs
-check`` scores against a median+MAD baseline, exiting non-zero on a
-statistical regression.
+``--trace-out FILE`` (Chrome-trace export), ``--metrics-out FILE``
+(OpenMetrics text exposition) and ``--profile {off,cpu,mem,all}``
+(sampling resource profiler; never changes results); ``repro
+obs-report`` pretty-prints the manifest of the last observed run
+(``--json`` for scripting).  Every ``--obs`` or ``--profile`` run is
+appended to the run-history ledger, which ``repro obs history`` lists,
+``repro obs diff`` compares pairwise, ``repro obs check`` scores
+against a median+MAD baseline (exiting non-zero on a statistical
+regression), ``repro obs flame`` renders as a flamegraph and ``repro
+obs top`` summarizes as hottest-spans/frames tables.
 
 The profiling subcommands (``profile``, ``dataset``, ``export``)
 additionally accept ``--jobs N`` / ``--backend`` (parallel sweep),
@@ -68,6 +73,10 @@ SPEC2017_SUBSUITE_ALIASES = ("rate-int", "rate-fp", "speed-int", "speed-fp")
 
 _OBS_MODES = ("off", "summary", "json")
 
+# Mirrors repro.obs.profiling.PROFILE_MODES without importing the obs
+# stack at parser-build time.
+_PROFILE_MODES = ("off", "cpu", "mem", "all")
+
 
 def _obs_options() -> argparse.ArgumentParser:
     """Shared ``--obs`` / ``--trace-out`` options for every subcommand."""
@@ -90,6 +99,16 @@ def _obs_options() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the metrics snapshot in OpenMetrics text format",
+    )
+    group.add_argument(
+        "--profile",
+        choices=_PROFILE_MODES,
+        default="off",
+        help=(
+            "attach the sampling resource profiler: cpu (stack "
+            "samples), mem (allocation peaks), all, or off (default); "
+            "never changes results"
+        ),
     )
     return common
 
@@ -257,7 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     obs_parser = sub.add_parser(
-        "obs", help="run-history ledger: history, diff, check"
+        "obs", help="run-history ledger: history, diff, check, flame, top"
     )
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
 
@@ -311,6 +330,36 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--verbose", action="store_true",
         help="also list series that are within tolerance",
+    )
+
+    flame_parser = add_obs_parser(
+        "flame",
+        help="render a recorded run's sampled stacks as a flamegraph",
+    )
+    flame_parser.add_argument(
+        "run", nargs="?", default="latest",
+        help="run reference: id, id prefix, seq, -N offset, or latest",
+    )
+    flame_parser.add_argument(
+        "--out", default="flame.html", metavar="FILE",
+        help="flamegraph HTML output path (default: flame.html)",
+    )
+    flame_parser.add_argument(
+        "--collapsed", default=None, metavar="FILE",
+        help="also write the samples in collapsed-stack text format",
+    )
+
+    top_parser = add_obs_parser(
+        "top",
+        help="the hottest spans and frames of a recorded run",
+    )
+    top_parser.add_argument(
+        "run", nargs="?", default="latest",
+        help="run reference: id, id prefix, seq, -N offset, or latest",
+    )
+    top_parser.add_argument(
+        "-n", type=int, default=10, metavar="N",
+        help="rows per table (default: 10)",
     )
     return parser
 
@@ -499,6 +548,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         profiler=profiler,
         jobs=args.jobs,
         backend=args.backend,
+        profile=getattr(args, "profile", "off"),
     )
     print(f"{args.suite}: {matrix.n_workloads} x {matrix.n_features} "
           f"feature matrix ({args.engine} engine, jobs={args.jobs})")
@@ -523,6 +573,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         profiler=_make_profiler(args),
         jobs=args.jobs,
         backend=args.backend,
+        profile=getattr(args, "profile", "off"),
     )
     path = feature_matrix_to_csv(matrix, args.out)
     print(f"wrote {matrix.n_workloads} x {matrix.n_features} matrix to {path}")
@@ -638,10 +689,114 @@ def _cmd_obs_check(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _load_run_profile(args: argparse.Namespace):
+    """A ledger run document plus its (required) profile section."""
+    from repro.errors import AnalysisError
+    from repro.obs import history as obs_history
+
+    document = obs_history.load_run(args.run, args.dir)
+    profile = document["manifest"].get("profile")
+    if not profile or not profile.get("samples"):
+        raise AnalysisError(
+            f"run {document['id']} has no sampled stacks; record it "
+            f"with --profile cpu (or all)"
+        )
+    samples = {
+        str(key): int(count)
+        for key, count in profile["samples"].items()
+    }
+    return document, profile, samples
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import profiling as obs_profiling
+    from repro.obs.manifest import atomic_write_text
+
+    document, profile, samples = _load_run_profile(args)
+    manifest = document["manifest"]
+    title = (
+        f"repro {manifest.get('command', '?')} — run {document['id']} "
+        f"({profile.get('sampler', '?')} sampler, "
+        f"{profile.get('mode', '?')} mode)"
+    )
+    out = atomic_write_text(
+        args.out, obs_profiling.flamegraph_html(samples, title=title)
+    )
+    written = {"run": document["id"], "out": str(out),
+               "samples": sum(samples.values()),
+               "stacks": len(samples)}
+    if args.collapsed:
+        collapsed = atomic_write_text(
+            args.collapsed, obs_profiling.collapsed_stacks(samples) + "\n"
+        )
+        written["collapsed"] = str(collapsed)
+    if args.json:
+        print(json.dumps(written, indent=2, sort_keys=True))
+        return 0
+    print(f"wrote flamegraph for {document['id']} "
+          f"({written['samples']} samples, {written['stacks']} distinct "
+          f"stacks) to {out}")
+    if args.collapsed:
+        print(f"wrote collapsed stacks to {written['collapsed']}")
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import history as obs_history
+    from repro.obs import profiling as obs_profiling
+
+    document = obs_history.load_run(args.run, args.dir)
+    manifest = document["manifest"]
+    spans = obs_profiling.top_manifest_series(manifest, args.n)
+    profile = manifest.get("profile") or {}
+    samples = {
+        str(key): int(count)
+        for key, count in profile.get("samples", {}).items()
+    }
+    frames = obs_profiling.top_frames(samples, args.n) if samples else []
+    if args.json:
+        print(json.dumps(
+            {"run": document["id"], "spans": spans, "frames": frames},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"top {args.n} span series of run {document['id']} "
+          f"(by total wall time):")
+    if not spans:
+        print("  (no span histograms recorded)")
+    for entry in spans:
+        print(f"  {entry['name']:<28s} x{entry['calls']:<6d}"
+              f" wall {entry['wall_s'] * 1e3:10.2f} ms"
+              f"  mean {entry['mean_s'] * 1e3:8.3f} ms")
+    if frames:
+        total = sum(samples.values())
+        workers = profile.get("workers", [])
+        source = f"{total} samples"
+        if workers:
+            # Workers ship one profile per chunk; count distinct pids.
+            pids = {worker.get("pid") for worker in workers}
+            source += f" across {len(pids) + 1} processes"
+        print(f"top {args.n} frames ({source}, by self samples):")
+        for entry in frames:
+            self_pct = 100.0 * entry["self_samples"] / total if total else 0
+            total_pct = (
+                100.0 * entry["total_samples"] / total if total else 0
+            )
+            print(f"  {entry['frame']:<44s} self {self_pct:5.1f}%"
+                  f"  total {total_pct:5.1f}%")
+    return 0
+
+
 _OBS_VERBS = {
     "history": _cmd_obs_history,
     "diff": _cmd_obs_diff,
     "check": _cmd_obs_check,
+    "flame": _cmd_obs_flame,
+    "top": _cmd_obs_top,
 }
 
 
@@ -670,6 +825,10 @@ def _finish_obs(args: argparse.Namespace, argv: Sequence[str]) -> None:
     """Emit span trees, metrics, the manifest, ledger entry and files."""
     from repro import obs
 
+    # End the profiling session before obs is disabled so its final
+    # gauges land in the snapshot; publication itself uses always-live
+    # handles, so the ordering only matters for determinism of output.
+    profile_data = obs.profiling.end_session()
     obs.disable()
     roots = obs.finished_roots()
     _record_span_histograms(roots)
@@ -692,13 +851,18 @@ def _finish_obs(args: argparse.Namespace, argv: Sequence[str]) -> None:
         engine=getattr(args, "engine", None),
         suite=getattr(args, "suite", None),
         k=getattr(args, "k", None),
+        profile=profile_data.to_dict() if profile_data else None,
     )
-    if mode != "off":
+    if mode != "off" or profile_data is not None:
         path = obs.manifest.write_manifest(manifest)
         print(f"--- obs: manifest written to {path}")
         if args.command not in ("obs", "obs-report"):
             info = obs.history.record_run(manifest)
             print(f"--- obs: run recorded as {info.id}")
+    if profile_data is not None:
+        print(f"--- obs: profiled {profile_data.sample_count} samples "
+              f"({profile_data.sampler} sampler), peak rss "
+              f"{profile_data.peak_rss_bytes / 1e6:.1f} MB")
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         path = obs.export.write_chrome_trace(trace_out, roots, snapshot)
@@ -737,26 +901,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    observed = (
+    profile_mode = getattr(args, "profile", "off")
+    traced = bool(
         getattr(args, "obs", "off") != "off"
         or getattr(args, "trace_out", None)
         or getattr(args, "metrics_out", None)
     )
-    if observed:
+    profiled = profile_mode != "off"
+    root = None
+    if traced or profiled:
         from repro import obs
 
         obs.metrics.reset()
-        obs.enable()
-        root = obs.span(f"repro.{args.command}")
-        root.__enter__()
+        if traced:
+            obs.enable()
+            root = obs.span(f"repro.{args.command}")
+            root.__enter__()
+        if profiled:
+            # --profile alone attaches only the sampler — span tracing
+            # stays off so the profiler's measured overhead vs a plain
+            # run is the sampler's own cost, nothing else.  Thread
+            # -backend pool workers share this process but run off the
+            # main thread, where SIGPROF never fires, so sample them
+            # with the wall-clock thread sampler instead.
+            sampler = (
+                "thread"
+                if getattr(args, "backend", None) == "thread"
+                and getattr(args, "jobs", 1) > 1
+                else "auto"
+            )
+            obs.profiling.start_session(profile_mode, sampler=sampler)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     finally:
-        if observed:
-            root.__exit__(None, None, None)
+        if traced or profiled:
+            if root is not None:
+                root.__exit__(None, None, None)
             _finish_obs(args, argv if argv is not None else sys.argv[1:])
 
 

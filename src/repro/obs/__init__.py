@@ -19,6 +19,9 @@ validation, design-space exploration):
   ok/improved/regressed verdicts (``repro obs check``).
 * :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text
   exposition of the metrics snapshot (``--metrics-out``).
+* :mod:`repro.obs.profiling` — sampling wall/CPU stack profiler and
+  ``tracemalloc`` memory gauges (``--profile``), with flamegraph
+  export (``repro obs flame``) and cross-process merge support.
 
 Everything is off by default and zero-cost when off: disabled call
 sites reduce to a single branch (see DESIGN.md, "Observability").
@@ -40,6 +43,7 @@ from repro.obs import (
     manifest,
     metrics,
     openmetrics,
+    profiling,
     progress,
     trace,
 )
@@ -57,14 +61,21 @@ from repro.obs.progress import Progress, progress as make_progress
 from repro.obs.trace import (
     Clock,
     Span,
+    TraceContext,
+    adopt_remote_spans,
+    begin_remote_capture,
+    child_span,
+    current_context,
     current_span,
     disable,
     enable,
     enabled,
+    end_remote_capture,
     finished_roots,
     instrument,
     instrumented_functions,
     reset,
+    resolve_live_span,
     span,
 )
 
@@ -75,11 +86,17 @@ __all__ = [
     "Histogram",
     "Progress",
     "Span",
+    "TraceContext",
+    "adopt_remote_spans",
     "baseline",
+    "begin_remote_capture",
+    "child_span",
+    "current_context",
     "current_span",
     "disable",
     "enable",
     "enabled",
+    "end_remote_capture",
     "export",
     "finished_roots",
     "history",
@@ -91,8 +108,10 @@ __all__ = [
     "manifest",
     "metrics",
     "observe",
+    "profiling",
     "progress",
     "reset",
+    "resolve_live_span",
     "set_gauge",
     "adjust_gauge",
     "snapshot",

@@ -133,12 +133,17 @@ def spans_to_jsonl(
     return "\n".join(lines)
 
 
-def spans_to_events(roots: Sequence[Span], pid: int = 1) -> List[dict]:
+def spans_to_events(
+    roots: Sequence[Span], pid: Optional[int] = None
+) -> List[dict]:
     """Flatten span trees into Chrome Trace complete ("X") events.
 
     Timestamps are microseconds relative to the earliest span start, as
     the trace-event format expects monotonically comparable ``ts``
-    values rather than epoch times.
+    values rather than epoch times.  Each event carries the pid the
+    span was recorded in, so spans adopted from executor workers render
+    as separate tracks; ``pid`` forces a single override for all events
+    (legacy single-process behaviour).
     """
     roots = list(roots)
     if not roots:
@@ -154,7 +159,7 @@ def spans_to_events(roots: Sequence[Span], pid: int = 1) -> List[dict]:
                     "ph": "X",
                     "ts": (span.wall_start - origin) * 1e6,
                     "dur": span.wall_time * 1e6,
-                    "pid": pid,
+                    "pid": pid if pid is not None else span.pid,
                     "tid": span.thread_id,
                     "args": {
                         str(k): v for k, v in span.attributes.items()
@@ -164,12 +169,38 @@ def spans_to_events(roots: Sequence[Span], pid: int = 1) -> List[dict]:
     return events
 
 
+def _process_name_events(events: Sequence[dict]) -> List[dict]:
+    """Metadata ("M") events labelling each worker-process track.
+
+    Only emitted for multi-pid traces: single-process traces keep the
+    exact event set the schema tests (and older tooling) expect.
+    """
+    pids = sorted({e["pid"] for e in events})
+    if len(pids) <= 1:
+        return []
+    main_pid = min(pids)
+    metadata = []
+    for p in pids:
+        label = "repro main" if p == main_pid else f"repro worker {p}"
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": p,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    return metadata
+
+
 def chrome_trace_document(
     roots: Sequence[Span], metrics_snapshot: Optional[dict] = None
 ) -> dict:
     """The full Chrome-trace JSON object for a run."""
+    events = spans_to_events(roots)
     document = {
-        "traceEvents": spans_to_events(roots),
+        "traceEvents": _process_name_events(events) + events,
         "displayTimeUnit": "ms",
     }
     if metrics_snapshot is not None:

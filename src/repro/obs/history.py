@@ -68,8 +68,9 @@ _RUN_SCHEMA = "repro.obs.history.run/1"
 _INDEX_SCHEMA = "repro.obs.history.index/1"
 
 #: CLI flags that configure observation itself; scrubbed from the run
-#: key so e.g. ``--trace-out /tmp/x.json`` doesn't split the series.
-_OBS_FLAGS = ("--obs", "--trace-out", "--metrics-out")
+#: key so e.g. ``--trace-out /tmp/x.json`` or ``--profile all`` doesn't
+#: split the series.
+_OBS_FLAGS = ("--obs", "--trace-out", "--metrics-out", "--profile")
 
 
 @dataclasses.dataclass(frozen=True)

@@ -162,10 +162,33 @@ def render_manifest(manifest: dict) -> str:
             "cpu_s",
             "stages",
             "metrics",
+            "profile",
             "schema",
         ):
             continue
         lines.append(f"{key + ':':<10s}{manifest[key]}")
+    profile = manifest.get("profile")
+    if profile:
+        lines.append(
+            f"profile:  mode={profile.get('mode', '?')} "
+            f"sampler={profile.get('sampler', '?')} "
+            f"samples={profile.get('sample_count', 0)} "
+            f"peak_rss={profile.get('peak_rss_bytes', 0) / 1e6:.1f}MB "
+            f"peak_alloc={profile.get('peak_alloc_bytes', 0) / 1e6:.1f}MB"
+        )
+        workers = profile.get("workers", [])
+        for worker in workers:
+            lines.append(
+                f"  worker pid={worker.get('pid', '?')} "
+                f"samples={worker.get('sample_count', 0)} "
+                f"peak_rss={worker.get('peak_rss_bytes', 0) / 1e6:.1f}MB"
+            )
+        stage_peaks = profile.get("stage_alloc_peaks", {})
+        for label in sorted(stage_peaks):
+            lines.append(
+                f"  alloc-peak {label:<24s} "
+                f"{stage_peaks[label] / 1e6:8.2f} MB"
+            )
     stages = manifest.get("stages", {})
     if stages:
         lines.append("stages:")

@@ -22,23 +22,40 @@ Design constraints (see DESIGN.md, "Observability"):
   can be made byte-for-byte reproducible.
 * **Thread safe.**  Every thread keeps its own span stack; finished
   root spans are appended to a process-wide list under a lock.
+* **Cross-process.**  Each span carries a process-wide unique id and
+  the recording pid; :func:`current_context` captures a picklable
+  :class:`TraceContext` (trace id, parent span id, pid) that executor
+  payloads ship to workers.  In-process workers re-attach via
+  :func:`child_span`; process workers record into a local buffer
+  between :func:`begin_remote_capture` / :func:`end_remote_capture`
+  and ship serialized span trees back, which
+  :func:`adopt_remote_spans` merges into the parent forest.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Sequence
 
 __all__ = [
     "Clock",
     "Span",
+    "TraceContext",
     "enable",
     "disable",
     "enabled",
     "reset",
     "span",
+    "child_span",
     "current_span",
+    "current_context",
+    "resolve_live_span",
+    "begin_remote_capture",
+    "end_remote_capture",
+    "adopt_remote_spans",
     "finished_roots",
     "instrument",
     "instrumented_functions",
@@ -62,6 +79,15 @@ class Clock:
         self.cpu = cpu
 
 
+class TraceContext(NamedTuple):
+    """Picklable handle to a live span, shipped across process
+    boundaries inside executor payloads."""
+
+    trace_id: int
+    span_id: int
+    pid: int
+
+
 class Span:
     """One timed, attributed region; a node of the span tree."""
 
@@ -74,6 +100,9 @@ class Span:
         "cpu_end",
         "children",
         "thread_id",
+        "span_id",
+        "parent_id",
+        "pid",
     )
 
     def __init__(self, name: str, attributes: Dict[str, object]) -> None:
@@ -85,6 +114,9 @@ class Span:
         self.cpu_end = 0.0
         self.children: List["Span"] = []
         self.thread_id = 0
+        self.span_id = 0
+        self.parent_id = 0
+        self.pid = 0
 
     @property
     def wall_time(self) -> float:
@@ -116,8 +148,29 @@ class Span:
             "wall_time": self.wall_time,
             "cpu_time": self.cpu_time,
             "thread_id": self.thread_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
             "children": [child.to_dict() for child in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output (used to
+        adopt spans shipped back from process-backend workers)."""
+        record = cls(data["name"], dict(data.get("attributes", {})))
+        record.wall_start = data.get("wall_start", 0.0)
+        record.wall_end = record.wall_start + data.get("wall_time", 0.0)
+        record.cpu_start = 0.0
+        record.cpu_end = data.get("cpu_time", 0.0)
+        record.thread_id = data.get("thread_id", 0)
+        record.span_id = data.get("span_id", 0)
+        record.parent_id = data.get("parent_id", 0)
+        record.pid = data.get("pid", 0)
+        record.children = [
+            cls.from_dict(child) for child in data.get("children", ())
+        ]
+        return record
 
     def __repr__(self) -> str:
         return (
@@ -135,6 +188,15 @@ class _State:
         self.lock = threading.Lock()
         self.roots: List[Span] = []
         self.local = threading.local()
+        # Span ids are small sequential ints so traces stay
+        # deterministic under an injected clock; itertools.count is
+        # atomic under the GIL, so the hot enter path stays lock-free.
+        self.ids = itertools.count(1)
+        self.trace_id = 1
+        # Live (entered, not yet exited) spans by id, so contexts
+        # shipped to same-process workers can re-attach children.
+        self.live: Dict[int, Span] = {}
+        self.remote_parent: Optional[TraceContext] = None
 
     def stack(self) -> List[Span]:
         stack = getattr(self.local, "stack", None)
@@ -169,21 +231,34 @@ _NULL_SPAN = _NullSpan()
 class _LiveSpan:
     """Context manager that opens/closes one real :class:`Span`."""
 
-    __slots__ = ("_span", "_is_root")
+    __slots__ = ("_span", "_is_root", "_parent")
 
-    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+    def __init__(
+        self,
+        name: str,
+        attributes: Dict[str, object],
+        parent: Optional[Span] = None,
+    ) -> None:
         self._span = Span(name, attributes)
         self._is_root = False
+        self._parent = parent
 
     def __enter__(self) -> Span:
         state = _STATE
         record = self._span
         record.thread_id = threading.get_ident()
+        record.span_id = next(state.ids)
+        record.pid = os.getpid()
         stack = state.stack()
         self._is_root = not stack
         if stack:
-            stack[-1].children.append(record)
+            parent = stack[-1]
+            parent.children.append(record)
+            record.parent_id = parent.span_id
+        elif self._parent is not None:
+            record.parent_id = self._parent.span_id
         stack.append(record)
+        state.live[record.span_id] = record
         record.cpu_start = state.clock.cpu()
         record.wall_start = state.clock.wall()
         return record
@@ -196,9 +271,15 @@ class _LiveSpan:
         stack = state.stack()
         if stack and stack[-1] is record:
             stack.pop()
+        state.live.pop(record.span_id, None)
         if self._is_root:
-            with state.lock:
-                state.roots.append(record)
+            parent = self._parent
+            if parent is not None:
+                with state.lock:
+                    parent.children.append(record)
+            else:
+                with state.lock:
+                    state.roots.append(record)
 
 
 def enable(clock: Optional[Clock] = None) -> None:
@@ -221,10 +302,18 @@ def enabled() -> bool:
 
 
 def reset(clock: Optional[Clock] = None) -> None:
-    """Drop all collected spans (and any live stacks on this thread)."""
+    """Drop all collected spans (and any live stacks on this thread).
+
+    Also restarts the span-id counter so two runs under the same
+    injected clock produce byte-identical span trees.
+    """
     with _STATE.lock:
         _STATE.roots = []
     _STATE.local = threading.local()
+    _STATE.ids = itertools.count(1)
+    _STATE.trace_id += 1
+    _STATE.live = {}
+    _STATE.remote_parent = None
     if clock is not None:
         _STATE.clock = clock
 
@@ -241,10 +330,102 @@ def span(name: str, **attributes: object):
     return _LiveSpan(name, attributes)
 
 
+def child_span(
+    name: str,
+    parent: Optional[Span] = None,
+    **attributes: object,
+):
+    """Open a traced region attached to an explicit parent span.
+
+    Used by executor workers whose logical parent (the sweep span)
+    lives on another thread: the worker thread's stack is empty, so a
+    plain :func:`span` would make the chunk a new root.  ``parent`` is
+    typically recovered from a :class:`TraceContext` via
+    :func:`resolve_live_span`; when it is ``None`` (parent already
+    closed, or tracing restarted) this degrades to :func:`span`.
+    """
+    if not _STATE.enabled:
+        return _NULL_SPAN
+    return _LiveSpan(name, attributes, parent=parent)
+
+
 def current_span() -> Optional[Span]:
     """The innermost live span on the calling thread, if any."""
     stack = _STATE.stack()
     return stack[-1] if stack else None
+
+
+def current_context() -> Optional[TraceContext]:
+    """A picklable handle to the innermost live span, or ``None``.
+
+    Ship this inside executor payloads; workers either resolve it back
+    to the live span (same process) or bracket their work with
+    :func:`begin_remote_capture` / :func:`end_remote_capture`.
+    """
+    if not _STATE.enabled:
+        return None
+    record = current_span()
+    if record is None:
+        return None
+    return TraceContext(_STATE.trace_id, record.span_id, os.getpid())
+
+
+def resolve_live_span(span_id: int) -> Optional[Span]:
+    """The live span with this id in the current process, if any."""
+    return _STATE.live.get(span_id)
+
+
+def begin_remote_capture(
+    context: TraceContext, clock: Optional[Clock] = None
+) -> None:
+    """Start recording spans in a worker process.
+
+    Fork-started workers inherit the parent's tracer state wholesale —
+    enabled flag, id counter, *and* accumulated roots — so this resets
+    first; otherwise the worker would ship the parent's own spans back
+    as its own.  Worker span ids restart at 1 and are only meaningful
+    relative to the worker's pid.
+    """
+    reset(clock)
+    _STATE.remote_parent = context
+    _STATE.enabled = True
+
+
+def end_remote_capture() -> List[dict]:
+    """Stop worker-side recording; return serialized span trees.
+
+    Each returned root carries ``parent_id`` pointing at the parent
+    process's span from the initiating :class:`TraceContext`, ready for
+    :func:`adopt_remote_spans` on the other side.
+    """
+    context = _STATE.remote_parent
+    _STATE.enabled = False
+    roots = finished_roots()
+    if context is not None:
+        for root in roots:
+            root.parent_id = context.span_id
+    payload = [root.to_dict() for root in roots]
+    reset()
+    return payload
+
+
+def adopt_remote_spans(parent: Optional[Span],
+                       payload: Sequence[dict]) -> List[Span]:
+    """Merge serialized worker spans under ``parent`` (or as roots).
+
+    Returns the adopted spans.  Worker wall timestamps come from
+    ``time.perf_counter`` (CLOCK_MONOTONIC on Linux), so they are
+    directly comparable with the parent's timeline.
+    """
+    adopted = [Span.from_dict(data) for data in payload]
+    if not adopted:
+        return adopted
+    with _STATE.lock:
+        if parent is not None:
+            parent.children.extend(adopted)
+        else:
+            _STATE.roots.extend(adopted)
+    return adopted
 
 
 def finished_roots() -> List[Span]:

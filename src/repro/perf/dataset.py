@@ -130,6 +130,7 @@ def build_feature_matrix(
     profiler: Optional[Profiler] = None,
     jobs: int = 1,
     backend: str = "thread",
+    profile: str = "off",
 ) -> FeatureMatrix:
     """Profile workloads on machines and assemble the feature matrix.
 
@@ -140,7 +141,9 @@ def build_feature_matrix(
     (:mod:`repro.perf.executor`).  The matrix is assembled from the
     per-pair reports in input order and each report is deterministic,
     so the result is bit-identical to the serial build for any worker
-    count or backend.
+    count or backend.  ``profile`` forwards the ``--profile`` resource
+    mode to process-backend workers (observability only; never changes
+    the matrix).
     """
     specs = [
         get_workload(w) if isinstance(w, str) else w for w in workloads
@@ -179,7 +182,9 @@ def build_feature_matrix(
                 for spec in specs
                 for machine in machine_configs
             ]
-            executor = ProfilingExecutor(profiler, jobs=jobs, backend=backend)
+            executor = ProfilingExecutor(
+                profiler, jobs=jobs, backend=backend, profile=profile
+            )
             reports = executor.run(pairs, progress_label="dataset.sweep")
 
             def report_for(i: int, j: int):

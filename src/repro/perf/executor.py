@@ -23,18 +23,27 @@ Failure handling: a pair that raises inside a worker is reported as a
 ``workload@machine`` pair, with the worker traceback attached; the
 remaining chunks are cancelled.
 
-Observability: the sweep runs under an ``executor.sweep`` span; each
-chunk runs under an ``executor.chunk`` span in its worker (thread
-backend; process workers cannot contribute spans to the parent).  The
+Observability: the sweep runs under an ``executor.sweep`` span whose
+:class:`~repro.obs.trace.TraceContext` is serialized into every chunk
+payload.  Thread-backend workers re-attach their ``executor.chunk``
+spans to the live sweep span; process-backend workers record spans
+into a local buffer (``begin_remote_capture``) that is shipped back
+with the chunk results and merged under the sweep span in chunk-index
+order, so ``--trace-out`` shows per-worker swim-lanes either way.  The
 pool exports ``executor.pool.jobs`` / ``executor.pool.inflight``
-gauges and ``executor.tasks.{completed,from_cache}`` counters, so
-speedup and saturation are attributable from a trace alone.
+gauges, ``executor.tasks.{completed,from_cache}`` /
+``executor.spans.adopted`` counters and a
+``profiler.queue_wait_seconds`` histogram (submit-to-start latency per
+chunk), so speedup and saturation are attributable from a trace alone.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import time
 import traceback
+import tracemalloc
 from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
@@ -45,8 +54,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, ExecutionError
 from repro.obs import metrics as obs_metrics
+from repro.obs import profiling as obs_profiling
+from repro.obs import trace as obs_trace
 from repro.obs.progress import progress as obs_progress
-from repro.obs.trace import span
+from repro.obs.trace import Span, TraceContext, span
 from repro.perf.counters import CounterReport
 from repro.perf.diskcache import content_fingerprint
 from repro.perf.profiler import Profiler, compute_report, pair_key
@@ -65,8 +76,15 @@ _CHUNKS_PER_WORKER = 4
 Pair = Tuple[WorkloadSpec, MachineConfig]
 
 # Worker payload: engine parameters plus the chunk's pairs, tagged with
-# the chunk index so results can be reassembled deterministically.
-_ChunkPayload = Tuple[int, str, int, int, Optional[str], str, List[Pair]]
+# the chunk index so results can be reassembled deterministically, the
+# sweep's trace context (or None while tracing is off), the submitting
+# process's pid (lets a worker tell process from thread dispatch even
+# when tracing is off), the resource profile mode for process workers,
+# and the submit-time wall clock for the queue-wait histogram.
+_ChunkPayload = Tuple[
+    int, str, int, int, Optional[str], str, List[Pair],
+    Optional[TraceContext], int, str, Optional[float],
+]
 
 
 def chunk_spans(n_tasks: int, jobs: int, chunk_size: Optional[int] = None) -> List[range]:
@@ -133,13 +151,18 @@ def _pair_label(spec: WorkloadSpec, config: MachineConfig) -> str:
     return f"{spec.name}@{config.name}"
 
 
-def _profile_chunk(payload: _ChunkPayload) -> Tuple[int, List[Tuple[str, object]]]:
+def _profile_chunk(
+    payload: _ChunkPayload,
+) -> Tuple[int, List[Tuple[str, object]], dict]:
     """Compute one chunk of pairs; runs inside a pool worker.
 
-    Returns ``(chunk_index, outcomes)`` where each outcome is
+    Returns ``(chunk_index, outcomes, extras)`` where each outcome is
     ``("ok", report)`` or ``("err", label, traceback_text)`` — errors
     are marshalled as strings because not every exception survives
-    pickling back from a process worker.
+    pickling back from a process worker.  ``extras`` carries the
+    worker's observability sidecar: queue-wait seconds, serialized
+    spans plus an optional resource profile when the worker runs in a
+    separate process, and the worker pid.
     """
     (
         chunk_index,
@@ -149,9 +172,58 @@ def _profile_chunk(payload: _ChunkPayload) -> Tuple[int, List[Tuple[str, object]
         trace_kernel,
         seed_scope,
         pairs,
+        context,
+        parent_pid,
+        profile_mode,
+        submitted_wall,
     ) = payload
+    queue_wait = (
+        max(0.0, time.perf_counter() - submitted_wall)
+        if submitted_wall is not None
+        else None
+    )
+    remote = os.getpid() != parent_pid
+    capturing = remote and context is not None
+    chunk_profiler = None
+    if remote:
+        # A fork-started worker inherits the parent process's state:
+        # if an alloc probe's tracemalloc was live at fork time it
+        # would silently tax this worker's entire chunk, so disarm it —
+        # and drop the inherited profiler session so parent alloc
+        # probes can't re-arm tracemalloc around worker stages.
+        if tracemalloc.is_tracing():
+            tracemalloc.stop()
+        obs_profiling.clear_inherited_session()
+        if capturing:
+            # The inherited state also includes the parent tracer's
+            # enabled flag and accumulated roots; begin_remote_capture
+            # resets to a clean local buffer parented at the sweep span.
+            obs_trace.begin_remote_capture(context)
+        if profile_mode != "off":
+            # Pool tasks run on the worker's main thread, but SIGPROF
+            # delivery in short-lived chunks is needlessly fragile; the
+            # thread sampler is the documented choice for workers.
+            # Alloc probes stay off: each chunk is a fresh session, so
+            # first-instance sampling would trace every chunk.
+            chunk_profiler = obs_profiling.ResourceProfiler(
+                mode=profile_mode,
+                sampler="thread",
+                interval_s=obs_profiling.WORKER_INTERVAL_S,
+                alloc_probes=False,
+            )
+            chunk_profiler.start()
+        opener = span("executor.chunk", chunk=chunk_index, pairs=len(pairs))
+    elif context is not None:
+        opener = obs_trace.child_span(
+            "executor.chunk",
+            parent=obs_trace.resolve_live_span(context.span_id),
+            chunk=chunk_index,
+            pairs=len(pairs),
+        )
+    else:
+        opener = span("executor.chunk", chunk=chunk_index, pairs=len(pairs))
     outcomes: List[Tuple[str, object]] = []
-    with span("executor.chunk", chunk=chunk_index, pairs=len(pairs)):
+    with opener:
         for spec, config in pairs:
             try:
                 report = compute_report(
@@ -175,7 +247,17 @@ def _profile_chunk(payload: _ChunkPayload) -> Tuple[int, List[Tuple[str, object]
                 )
             else:
                 outcomes.append(("ok", report))
-    return chunk_index, outcomes
+    extras: dict = {
+        "queue_wait_s": queue_wait,
+        "spans": None,
+        "profile": None,
+        "pid": os.getpid(),
+    }
+    if chunk_profiler is not None:
+        extras["profile"] = chunk_profiler.stop().to_dict()
+    if capturing:
+        extras["spans"] = obs_trace.end_remote_capture()
+    return chunk_index, outcomes, extras
 
 
 class ProfilingExecutor:
@@ -196,6 +278,11 @@ class ProfilingExecutor:
     chunk_size:
         Pairs per dispatched chunk; defaults to an even split of
         roughly four chunks per worker.
+    profile:
+        Resource-profile mode (``off``/``cpu``/``mem``/``all``) shipped
+        to process-backend workers; their per-chunk profiles are merged
+        into the active :mod:`repro.obs.profiling` session.  Never
+        affects results.
     """
 
     def __init__(
@@ -204,6 +291,7 @@ class ProfilingExecutor:
         jobs: int = 1,
         backend: str = "thread",
         chunk_size: Optional[int] = None,
+        profile: str = "off",
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -211,10 +299,16 @@ class ProfilingExecutor:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
+        if profile not in obs_profiling.PROFILE_MODES:
+            raise ConfigurationError(
+                f"unknown profile mode {profile!r}; expected one of "
+                f"{obs_profiling.PROFILE_MODES}"
+            )
         self.profiler = profiler
         self.jobs = jobs
         self.backend = backend
         self.chunk_size = chunk_size
+        self.profile = profile
 
     def run(
         self,
@@ -234,11 +328,18 @@ class ProfilingExecutor:
             pairs=len(resolved),
             jobs=self.jobs,
             backend=self.backend,
-        ):
-            return self._run_resolved(resolved, progress_label)
+        ) as sweep:
+            return self._run_resolved(
+                resolved,
+                progress_label,
+                sweep if isinstance(sweep, Span) else None,
+            )
 
     def _run_resolved(
-        self, resolved: List[Pair], progress_label: str
+        self,
+        resolved: List[Pair],
+        progress_label: str,
+        sweep: Optional[Span] = None,
     ) -> List[CounterReport]:
         ticker = obs_progress(progress_label, total=len(resolved))
         results: List[Optional[CounterReport]] = [None] * len(resolved)
@@ -269,7 +370,9 @@ class ProfilingExecutor:
             if self.jobs == 1 or self.backend == "serial":
                 self._run_serial(pending, pending_positions, results, ticker)
             else:
-                self._run_pool(pending, pending_positions, results, ticker)
+                self._run_pool(
+                    pending, pending_positions, results, ticker, sweep
+                )
         ticker.close()
         # Every slot is filled unless an exception propagated above.
         return results  # type: ignore[return-value]
@@ -320,11 +423,14 @@ class ProfilingExecutor:
         positions: Dict[Tuple[str, str, str, str], List[int]],
         results: List[Optional[CounterReport]],
         ticker,
+        sweep: Optional[Span] = None,
     ) -> None:
         chunks = workload_chunks(pending, self.jobs, self.chunk_size)
         pool_type = (
             ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
         )
+        context = obs_trace.current_context()
+        observed = context is not None or self.profile != "off"
         payloads: List[_ChunkPayload] = [
             (
                 chunk_index,
@@ -334,6 +440,10 @@ class ProfilingExecutor:
                 getattr(self.profiler, "trace_kernel", None),
                 getattr(self.profiler, "seed_scope", "geometry"),
                 [pending[i] for i in indices],
+                context,
+                os.getpid(),
+                self.profile,
+                None,
             )
             for chunk_index, indices in enumerate(chunks)
         ]
@@ -342,9 +452,18 @@ class ProfilingExecutor:
             with pool_type(max_workers=self.jobs) as pool:
                 try:
                     for payload in payloads:
+                        if observed:
+                            # Stamp the submit-time wall clock as late
+                            # as possible so the queue-wait histogram
+                            # measures pool latency, not payload
+                            # construction.
+                            payload = payload[:-1] + (time.perf_counter(),)
                         futures.append(pool.submit(_profile_chunk, payload))
                         obs_metrics.adjust_gauge("executor.pool.inflight", 1)
-                    self._collect(chunks, futures, pending, positions, results, ticker)
+                    self._collect(
+                        chunks, futures, pending, positions, results,
+                        ticker, sweep,
+                    )
                 except BaseException:
                     # Ctrl-C / worker failure: drop undispatched chunks so
                     # the pool drains fast, then let the context manager
@@ -373,13 +492,32 @@ class ProfilingExecutor:
         positions: Dict[Tuple[str, str, str, str], List[int]],
         results: List[Optional[CounterReport]],
         ticker,
+        sweep: Optional[Span] = None,
     ) -> None:
         # Chunks are adopted as they complete; which slot a report
         # fills depends only on its input index, so completion order
         # affects wall time, never results.
+        remote_spans: Dict[int, List[dict]] = {}
         for future in as_completed(futures):
-            chunk_index, outcomes = future.result()
+            chunk_index, outcomes, extras = future.result()
             obs_metrics.adjust_gauge("executor.pool.inflight", -1)
+            if extras["queue_wait_s"] is not None:
+                if self.profile != "off":
+                    # --profile without --obs: the gated helper would
+                    # no-op, but the profile report wants the waits.
+                    obs_metrics.histogram(
+                        "profiler.queue_wait_seconds"
+                    ).observe(extras["queue_wait_s"])
+                else:
+                    obs_metrics.observe(
+                        "profiler.queue_wait_seconds", extras["queue_wait_s"]
+                    )
+            if extras["spans"]:
+                remote_spans[chunk_index] = extras["spans"]
+            if extras["profile"]:
+                obs_profiling.absorb_worker_profile(
+                    extras["profile"], pid=extras["pid"]
+                )
             for offset, outcome in enumerate(outcomes):
                 if outcome[0] == "err":
                     _tag, label, worker_trace = outcome
@@ -391,3 +529,31 @@ class ProfilingExecutor:
                 spec, config = pending[pair_index]
                 self._adopt(spec, config, outcome[1], positions, results)
                 ticker.advance()
+        self._merge_worker_spans(sweep, remote_spans)
+
+    @staticmethod
+    def _merge_worker_spans(
+        sweep: Optional[Span], remote_spans: Dict[int, List[dict]]
+    ) -> None:
+        """Graft shipped-back worker spans under the sweep span.
+
+        Merging happens once, after every chunk has completed, in
+        chunk-index order — and thread-backend chunk spans that
+        self-attached in completion order are re-sorted the same way —
+        so the span tree depends only on the input, never on worker
+        scheduling.
+        """
+        adopted = 0
+        for chunk_index in sorted(remote_spans):
+            adopted += len(
+                obs_trace.adopt_remote_spans(sweep, remote_spans[chunk_index])
+            )
+        if adopted:
+            obs_metrics.incr("executor.spans.adopted", adopted)
+        if sweep is not None:
+            sweep.children.sort(
+                key=lambda child: (
+                    child.name,
+                    child.attributes.get("chunk", -1),
+                )
+            )

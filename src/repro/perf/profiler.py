@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.obs import metrics as obs_metrics
+from repro.obs.profiling import stage_probe
 from repro.obs.trace import span
 from repro.perf.counters import CounterReport
 from repro.perf.diskcache import DiskCache, cache_key, content_fingerprint
@@ -99,7 +100,7 @@ def compute_report(
         workload=spec.name,
         machine=config.name,
         engine=engine,
-    ):
+    ), stage_probe(f"profile.{engine}"):
         if engine == "analytic":
             from repro.perf.analytic import profile_analytic
 

@@ -342,6 +342,10 @@ class TraceCache:
             self._hits.reset()
             self._misses.reset()
             self._evictions.reset()
+        # The registry gauge tracks the last put(); without this a
+        # cleared (or replaced) cache keeps reporting stale residency
+        # for the rest of the process.
+        obs_metrics.set_gauge("trace_cache.resident_bytes", 0)
 
 
 _DEFAULT_CACHE: Optional[TraceCache] = None

@@ -122,6 +122,31 @@ class TestCompare:
             for f in verdict.regressions
         )
 
+    def test_profiler_resource_series_use_counter_tolerance(self):
+        # The profiler's resource gauges (peak RSS, sample counts) ride
+        # the same counter tolerance as every other manifest series:
+        # run-to-run jitter is absorbed by the MAD-scaled band, gross
+        # drift regresses.
+        def manifest(rss):
+            m = make_manifest()
+            m["metrics"]["gauges"]["profiler.peak_rss_bytes"] = rss
+            m["metrics"]["counters"]["profiler.samples"] = 1000.0
+            return m
+
+        base = baseline.build_baseline(
+            [manifest(100e6 + i * 1e6) for i in range(5)]
+        )
+        ok = baseline.compare(manifest(103e6), base)
+        finding = next(
+            f for f in ok.findings if f.name == "profiler.peak_rss_bytes"
+        )
+        assert finding.kind == "counter" and finding.status == "ok"
+        bad = baseline.compare(manifest(300e6), base)
+        assert any(
+            f.name == "profiler.peak_rss_bytes"
+            for f in bad.regressions
+        )
+
     def test_counter_within_one_count_is_ok(self):
         base = self._baseline()
         verdict = baseline.compare(make_manifest(misses=71.0), base)

@@ -262,6 +262,62 @@ class TestObsVerbs:
         assert main(["obs", "check"]) == 0
         assert "nothing to compare" in capsys.readouterr().out
 
+    def test_profile_flag_records_profile_in_manifest(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        assert main(["dataset", "--suite", "rate-int",
+                     "--profile", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "digest:" in out
+        assert "--- obs: profiled" in out
+        from repro.obs import history
+
+        run = history.load_run("latest")
+        profile = run["manifest"]["profile"]
+        assert profile["mode"] == "cpu"
+        assert profile["sample_count"] == sum(profile["samples"].values())
+
+    def test_obs_flame_renders_from_ledger(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        assert main(["dataset", "--suite", "rate-int",
+                     "--profile", "all"]) == 0
+        capsys.readouterr()
+        out_html = tmp_path / "flame.html"
+        out_collapsed = tmp_path / "stacks.txt"
+        assert main(["obs", "flame", "--out", str(out_html),
+                     "--collapsed", str(out_collapsed)]) == 0
+        message = capsys.readouterr().out
+        assert "wrote flamegraph" in message
+        html = out_html.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "samples" in html
+        collapsed = out_collapsed.read_text()
+        assert collapsed  # one "stack count" line per distinct stack
+        for line in collapsed.splitlines():
+            assert line.rsplit(" ", 1)[1].isdigit()
+
+    def test_obs_flame_without_profile_data_errors(self, capsys, tmp_path,
+                                                   monkeypatch):
+        self._observe(monkeypatch, tmp_path, times=1)
+        capsys.readouterr()
+        assert main(["obs", "flame"]) == 1
+        assert "--profile" in capsys.readouterr().err
+
+    def test_obs_top_lists_spans_and_frames(self, capsys, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        assert main(["dataset", "--suite", "rate-int", "--obs", "summary",
+                     "--profile", "all"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "top", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 span series" in out
+        assert "dataset.build_matrix" in out
+        assert "top 3 frames" in out
+        assert "self" in out
+
     def test_obs_report_json(self, capsys, tmp_path, monkeypatch):
         self._observe(monkeypatch, tmp_path, times=1)
         capsys.readouterr()

@@ -128,16 +128,23 @@ class TestWorkerFailure:
         # Direct unit test of the in-worker protocol: a bad payload
         # pair produces an ("err", label, traceback) outcome, which is
         # what survives pickling back from a process worker.
+        import os
+
         spec = get_workload("505.mcf_r")
         config = get_machine("skylake-i7-6700")
-        index, outcomes = _profile_chunk(
-            (7, "trace", -1, 2017, "vector", "geometry", [(spec, config)])
+        index, outcomes, extras = _profile_chunk(
+            (
+                7, "trace", -1, 2017, "vector", "geometry",
+                [(spec, config)], None, os.getpid(), "off", None,
+            )
         )
         assert index == 7
         tag, label, trace_text = outcomes[0]
         assert tag == "err"
         assert label == "505.mcf_r@skylake-i7-6700"
         assert "Traceback" in trace_text
+        assert extras["pid"] == os.getpid()
+        assert extras["spans"] is None and extras["profile"] is None
 
     def test_crash_in_a_process_worker_is_marshalled(self):
         # trace_instructions=-1 makes the engine itself raise inside

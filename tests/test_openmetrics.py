@@ -167,6 +167,46 @@ class TestRoundTrip:
         assert openmetrics.parse_openmetrics(text) == {}
 
 
+class TestProfilerSeries:
+    def test_profiler_session_series_roundtrip(self):
+        # The resource profiler publishes through always-live handles;
+        # its series must survive the full render -> parse round trip.
+        import time
+
+        from repro.obs import profiling
+
+        profiler = profiling.ResourceProfiler(
+            mode="all", sampler="thread", interval_s=0.001
+        )
+        profiler.start()
+        deadline = time.monotonic() + 0.1
+        while time.monotonic() < deadline:
+            sum(range(100))
+        data = profiler.stop()
+        obs_metrics.histogram("profiler.queue_wait_seconds").observe(0.125)
+        families = openmetrics.parse_openmetrics(
+            openmetrics.render_openmetrics(obs_metrics.snapshot())
+        )
+        samples = families["repro_profiler_samples"]
+        assert samples["type"] == "counter"
+        assert samples["samples"] == [
+            ("repro_profiler_samples_total", {}, float(data.sample_count))
+        ]
+        rss = families["repro_profiler_peak_rss_bytes"]
+        assert rss["type"] == "gauge"
+        assert rss["samples"][0][2] == float(data.peak_rss_bytes)
+        assert data.peak_rss_bytes > 0
+        assert "repro_profiler_peak_alloc_bytes" in families
+        queue = families["repro_profiler_queue_wait_seconds"]
+        assert queue["type"] == "histogram"
+        inf_bucket = next(
+            value
+            for name, labels, value in queue["samples"]
+            if name.endswith("_bucket") and labels.get("le") == "+Inf"
+        )
+        assert inf_bucket == 1.0
+
+
 class TestParserGrammar:
     def test_rejects_missing_eof(self):
         with pytest.raises(ValueError, match="EOF"):

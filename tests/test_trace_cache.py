@@ -249,6 +249,29 @@ class TestTraceCache:
         assert info.entries == 0
         assert info.resident_bytes == 0
 
+    def test_clear_zeroes_resident_gauge(self):
+        # Regression test: clear() used to leave the last resident
+        # figure in the trace_cache.resident_bytes gauge, so manifests
+        # of later runs reported memory the cache no longer held.
+        from repro import obs
+
+        obs.metrics.reset()
+        obs.enable()
+        try:
+            cache = TraceCache(capacity_bytes=10_000_000)
+            cache.get_or_synthesize(MCF, 5_000, seed=1, line_bytes=64,
+                                    page_bytes=4096)
+            assert (
+                obs.snapshot()["gauges"]["trace_cache.resident_bytes"] > 0
+            )
+            cache.clear()
+            assert (
+                obs.snapshot()["gauges"]["trace_cache.resident_bytes"] == 0
+            )
+        finally:
+            obs.disable()
+            obs.metrics.reset()
+
     def test_capacity_env_override_and_validation(self, monkeypatch):
         monkeypatch.setenv(CACHE_BYTES_ENV, "12345")
         assert TraceCache().capacity_bytes == 12345
