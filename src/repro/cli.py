@@ -39,9 +39,13 @@ vectorized batch kernels or the bit-identical scalar oracle;
 ``$REPRO_TRACE_KERNEL`` supplies the default), ``--trace-seed-scope
 {geometry,machine}`` (trace identity: geometry-shared traces with
 paired replay, or the historical machine-salted seeds;
-``$REPRO_TRACE_SEED_SCOPE`` supplies the default) and ``--cache-dir`` /
-``--no-disk-cache`` / ``--cache-clear`` (persistent result cache;
-``$REPRO_CACHE_DIR`` supplies a default root).
+``$REPRO_TRACE_SEED_SCOPE`` supplies the default), ``--replay
+{independent,fused}`` (multi-machine trace replay: fused batch
+simulation over one shared set partition, or the bit-identical
+independent per-pair replay; ``$REPRO_REPLAY`` supplies the default)
+and ``--cache-dir`` / ``--no-disk-cache`` / ``--cache-clear``
+(persistent result cache; ``$REPRO_CACHE_DIR`` supplies a default
+root).
 """
 
 from __future__ import annotations
@@ -151,6 +155,17 @@ def _exec_options() -> argparse.ArgumentParser:
             "replay); 'machine' keeps the historical machine-salted "
             "seeds bit-exactly "
             "(default: $REPRO_TRACE_SEED_SCOPE, else geometry)"
+        ),
+    )
+    group.add_argument(
+        "--replay",
+        choices=("independent", "fused"),
+        default=None,
+        help=(
+            "trace-engine multi-machine replay: 'fused' simulates whole "
+            "machine batches over one shared set partition per trace; "
+            "'independent' replays every pair on its own (bit-identical) "
+            "(default: $REPRO_REPLAY, else fused)"
         ),
     )
     group.add_argument(
@@ -401,7 +416,8 @@ def _make_profiler(args: argparse.Namespace, engine: str = "analytic"):
     profiler = Profiler(engine=getattr(args, "engine", engine),
                         cache_dir=cache_dir,
                         trace_kernel=getattr(args, "trace_kernel", None),
-                        seed_scope=getattr(args, "trace_seed_scope", None))
+                        seed_scope=getattr(args, "trace_seed_scope", None),
+                        replay=getattr(args, "replay", None))
     if args.cache_clear and profiler.disk_cache is not None:
         removed = profiler.disk_cache.clear()
         print(f"cleared {removed} cached profiles from "

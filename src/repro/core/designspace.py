@@ -150,6 +150,12 @@ def evaluate_design_space(
     two configs on identical streams, so they carry no synthesis noise
     and are invariant to the base seed (a latency-only variant's
     speedup reflects only the structural change).
+
+    With the default ``fused`` replay (see :mod:`repro.uarch.fused`),
+    trace-engine evaluations prefill through the executor even at
+    ``jobs=1`` so every workload's variant batch is simulated over one
+    shared set partition — bit-identical to per-pair replay, several
+    times faster on geometry-sharing variants.
     """
     if not variants:
         raise AnalysisError("need at least one design variant")
@@ -166,7 +172,7 @@ def evaluate_design_space(
         workloads=len(specs),
         jobs=jobs,
     ):
-        if jobs > 1:
+        if jobs > 1 or profiler.engine == "trace":
             from repro.perf.executor import ProfilingExecutor
 
             executor = ProfilingExecutor(profiler, jobs=jobs, backend=backend)

@@ -153,6 +153,7 @@ def cache_key(
     seed: int,
     trace_kernel: str = "vector",
     seed_scope: str = "geometry",
+    replay: str = "fused",
 ) -> str:
     """Content hash of everything that determines one profile result.
 
@@ -162,6 +163,10 @@ def cache_key(
     by a result the other kernel persisted.  ``seed_scope`` is keyed
     because it changes the synthesized trace (geometry-shared vs.
     machine-salted seeds) and therefore every trace-engine metric.
+    ``replay`` (fused vs. independent multi-machine replay) is keyed for
+    the same reason as ``trace_kernel``: the strategies are bit-identical
+    by contract, and keeping their entries separate means a divergence
+    can never hide behind the other strategy's persisted result.
     """
     payload = {
         "schema": SCHEMA_VERSION,
@@ -178,6 +183,7 @@ def cache_key(
                 "seed": seed,
                 "kernel": trace_kernel,
                 "seed_scope": seed_scope,
+                "replay": replay,
             }
             if engine == "trace"
             else {}

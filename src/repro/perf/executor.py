@@ -60,7 +60,12 @@ from repro.obs.progress import progress as obs_progress
 from repro.obs.trace import Span, TraceContext, span
 from repro.perf.counters import CounterReport
 from repro.perf.diskcache import content_fingerprint
-from repro.perf.profiler import Profiler, compute_report, pair_key
+from repro.perf.profiler import (
+    Profiler,
+    compute_report,
+    compute_reports,
+    pair_key,
+)
 from repro.uarch.machine import MachineConfig, get_machine
 from repro.workloads.spec import WorkloadSpec, get_workload
 
@@ -75,14 +80,15 @@ _CHUNKS_PER_WORKER = 4
 
 Pair = Tuple[WorkloadSpec, MachineConfig]
 
-# Worker payload: engine parameters plus the chunk's pairs, tagged with
-# the chunk index so results can be reassembled deterministically, the
-# sweep's trace context (or None while tracing is off), the submitting
-# process's pid (lets a worker tell process from thread dispatch even
-# when tracing is off), the resource profile mode for process workers,
-# and the submit-time wall clock for the queue-wait histogram.
+# Worker payload: engine parameters (including the replay strategy)
+# plus the chunk's pairs, tagged with the chunk index so results can be
+# reassembled deterministically, the sweep's trace context (or None
+# while tracing is off), the submitting process's pid (lets a worker
+# tell process from thread dispatch even when tracing is off), the
+# resource profile mode for process workers, and the submit-time wall
+# clock for the queue-wait histogram.
 _ChunkPayload = Tuple[
-    int, str, int, int, Optional[str], str, List[Pair],
+    int, str, int, int, Optional[str], str, Optional[str], List[Pair],
     Optional[TraceContext], int, str, Optional[float],
 ]
 
@@ -151,6 +157,27 @@ def _pair_label(spec: WorkloadSpec, config: MachineConfig) -> str:
     return f"{spec.name}@{config.name}"
 
 
+def _fused_batching(
+    engine: str, trace_kernel: Optional[str], replay: Optional[str]
+) -> bool:
+    """True when same-workload runs should go through the fused engine.
+
+    Fused replay exists only for the trace engine's vector kernels;
+    every other combination keeps the historical per-pair computation
+    (and its per-pair ``profile`` spans) so the independent path stays
+    byte-identical to earlier releases.
+    """
+    if engine != "trace":
+        return False
+    from repro.uarch.fused import resolve_replay
+    from repro.uarch.kernels import resolve_trace_kernel
+
+    return (
+        resolve_trace_kernel(trace_kernel) == "vector"
+        and resolve_replay(replay) == "fused"
+    )
+
+
 def _profile_chunk(
     payload: _ChunkPayload,
 ) -> Tuple[int, List[Tuple[str, object]], dict]:
@@ -171,6 +198,7 @@ def _profile_chunk(
         seed,
         trace_kernel,
         seed_scope,
+        replay,
         pairs,
         context,
         parent_pid,
@@ -224,29 +252,64 @@ def _profile_chunk(
         opener = span("executor.chunk", chunk=chunk_index, pairs=len(pairs))
     outcomes: List[Tuple[str, object]] = []
     with opener:
-        for spec, config in pairs:
-            try:
-                report = compute_report(
-                    spec,
-                    config,
-                    engine,
-                    trace_instructions=trace_instructions,
-                    seed=seed,
-                    trace_kernel=trace_kernel,
-                    seed_scope=seed_scope,
-                )
-            except KeyboardInterrupt:
-                raise
-            except Exception:
-                outcomes.append(
-                    (
-                        "err",
-                        _pair_label(spec, config),
-                        traceback.format_exc(),
+        if _fused_batching(engine, trace_kernel, replay):
+            # workload_chunks keeps same-workload pairs adjacent, so
+            # contiguous runs hand whole machine batches to the fused
+            # engine; a failing batch is marshalled as one error per
+            # member pair so the collector can name every casualty.
+            runs: List[Tuple[WorkloadSpec, List[MachineConfig]]] = []
+            for spec, config in pairs:
+                if runs and runs[-1][0] == spec:
+                    runs[-1][1].append(config)
+                else:
+                    runs.append((spec, [config]))
+            for spec, configs in runs:
+                try:
+                    reports = compute_reports(
+                        spec,
+                        configs,
+                        engine,
+                        trace_instructions=trace_instructions,
+                        seed=seed,
+                        trace_kernel=trace_kernel,
+                        seed_scope=seed_scope,
+                        replay=replay,
                     )
-                )
-            else:
-                outcomes.append(("ok", report))
+                except KeyboardInterrupt:
+                    raise
+                except Exception:
+                    worker_trace = traceback.format_exc()
+                    outcomes.extend(
+                        ("err", _pair_label(spec, config), worker_trace)
+                        for config in configs
+                    )
+                else:
+                    outcomes.extend(("ok", report) for report in reports)
+        else:
+            for spec, config in pairs:
+                try:
+                    report = compute_report(
+                        spec,
+                        config,
+                        engine,
+                        trace_instructions=trace_instructions,
+                        seed=seed,
+                        trace_kernel=trace_kernel,
+                        seed_scope=seed_scope,
+                        replay=replay,
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception:
+                    outcomes.append(
+                        (
+                            "err",
+                            _pair_label(spec, config),
+                            traceback.format_exc(),
+                        )
+                    )
+                else:
+                    outcomes.append(("ok", report))
     extras: dict = {
         "queue_wait_s": queue_wait,
         "spans": None,
@@ -397,25 +460,85 @@ class ProfilingExecutor:
         results: List[Optional[CounterReport]],
         ticker,
     ) -> None:
+        trace_kernel = getattr(self.profiler, "trace_kernel", None)
+        replay = getattr(self.profiler, "replay", None)
+        if _fused_batching(self.profiler.engine, trace_kernel, replay):
+            # Group pending pairs by workload (stable first-appearance
+            # order, mirroring workload_chunks) so each multi-machine
+            # group goes through the fused engine in one call.  Results
+            # land by input index, so the regrouped compute order can
+            # never change a sweep's output.
+            groups: Dict[Tuple[str, str], List[int]] = {}
+            order: List[Tuple[str, str]] = []
+            for index, (spec, _config) in enumerate(pending):
+                key = (spec.name, content_fingerprint(spec))
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(index)
+            for key in order:
+                indices = groups[key]
+                if len(indices) == 1:
+                    self._serial_one(
+                        *pending[indices[0]], positions, results, ticker
+                    )
+                    continue
+                spec = pending[indices[0]][0]
+                configs = [pending[i][1] for i in indices]
+                try:
+                    reports = compute_reports(
+                        spec,
+                        configs,
+                        self.profiler.engine,
+                        trace_instructions=self.profiler.trace_instructions,
+                        seed=self.profiler.seed,
+                        trace_kernel=trace_kernel,
+                        seed_scope=getattr(self.profiler, "seed_scope", None),
+                        replay=replay,
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    labels = ", ".join(
+                        _pair_label(spec, config) for config in configs
+                    )
+                    raise ExecutionError(
+                        f"profiling {labels} failed: {error}"
+                    ) from error
+                for config, report in zip(configs, reports):
+                    self._adopt(spec, config, report, positions, results)
+                    ticker.advance()
+            return
         for spec, config in pending:
-            try:
-                report = compute_report(
-                    spec,
-                    config,
-                    self.profiler.engine,
-                    trace_instructions=self.profiler.trace_instructions,
-                    seed=self.profiler.seed,
-                    trace_kernel=getattr(self.profiler, "trace_kernel", None),
-                    seed_scope=getattr(self.profiler, "seed_scope", None),
-                )
-            except KeyboardInterrupt:
-                raise
-            except Exception as error:
-                raise ExecutionError(
-                    f"profiling {_pair_label(spec, config)} failed: {error}"
-                ) from error
-            self._adopt(spec, config, report, positions, results)
-            ticker.advance()
+            self._serial_one(spec, config, positions, results, ticker)
+
+    def _serial_one(
+        self,
+        spec: WorkloadSpec,
+        config: MachineConfig,
+        positions: Dict[Tuple[str, str, str, str], List[int]],
+        results: List[Optional[CounterReport]],
+        ticker,
+    ) -> None:
+        try:
+            report = compute_report(
+                spec,
+                config,
+                self.profiler.engine,
+                trace_instructions=self.profiler.trace_instructions,
+                seed=self.profiler.seed,
+                trace_kernel=getattr(self.profiler, "trace_kernel", None),
+                seed_scope=getattr(self.profiler, "seed_scope", None),
+                replay=getattr(self.profiler, "replay", None),
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception as error:
+            raise ExecutionError(
+                f"profiling {_pair_label(spec, config)} failed: {error}"
+            ) from error
+        self._adopt(spec, config, report, positions, results)
+        ticker.advance()
 
     def _run_pool(
         self,
@@ -439,6 +562,7 @@ class ProfilingExecutor:
                 self.profiler.seed,
                 getattr(self.profiler, "trace_kernel", None),
                 getattr(self.profiler, "seed_scope", "geometry"),
+                getattr(self.profiler, "replay", None),
                 [pending[i] for i in indices],
                 context,
                 os.getpid(),
@@ -518,17 +642,25 @@ class ProfilingExecutor:
                 obs_profiling.absorb_worker_profile(
                     extras["profile"], pid=extras["pid"]
                 )
+            failures: List[Tuple[str, str]] = []
             for offset, outcome in enumerate(outcomes):
                 if outcome[0] == "err":
                     _tag, label, worker_trace = outcome
-                    raise ExecutionError(
-                        f"profiling {label} failed in a "
-                        f"{self.backend} worker:\n{worker_trace}"
-                    )
+                    failures.append((label, worker_trace))
+                    continue
                 pair_index = chunks[chunk_index][offset]
                 spec, config = pending[pair_index]
                 self._adopt(spec, config, outcome[1], positions, results)
                 ticker.advance()
+            if failures:
+                # A fused batch marshals one error per member pair;
+                # aggregate so the exception names every failed
+                # workload@machine, not just the first.
+                labels = ", ".join(label for label, _ in failures)
+                raise ExecutionError(
+                    f"profiling {labels} failed in a "
+                    f"{self.backend} worker:\n{failures[0][1]}"
+                )
         self._merge_worker_spans(sweep, remote_spans)
 
     @staticmethod

@@ -31,7 +31,14 @@ from repro.perf.diskcache import DiskCache, cache_key, content_fingerprint
 from repro.uarch.machine import MachineConfig, get_machine
 from repro.workloads.spec import WorkloadSpec, get_workload
 
-__all__ = ["CacheInfo", "Profiler", "profile", "compute_report", "pair_key"]
+__all__ = [
+    "CacheInfo",
+    "Profiler",
+    "profile",
+    "compute_report",
+    "compute_reports",
+    "pair_key",
+]
 
 _ENGINES = ("analytic", "trace")
 
@@ -84,16 +91,18 @@ def compute_report(
     seed: int = 2017,
     trace_kernel: Optional[str] = None,
     seed_scope: Optional[str] = None,
+    replay: Optional[str] = None,
 ) -> CounterReport:
     """Run one engine on one (workload, machine) pair, uncached.
 
     Module-level (hence picklable by reference) so pool workers and the
     serial path share the exact same computation, spans included.
     ``trace_kernel`` selects the trace engine's simulation kernels
-    (``"vector"``/``"scalar"``; ``None`` means the session default) and
+    (``"vector"``/``"scalar"``; ``None`` means the session default),
     ``seed_scope`` the trace identity (``"geometry"``/``"machine"``;
-    ``None`` means the session default); both are ignored by the
-    analytic engine.
+    ``None`` means the session default) and ``replay`` the multi-machine
+    replay strategy (``"fused"``/``"independent"``; ``None`` means the
+    session default); all three are ignored by the analytic engine.
     """
     with span(
         "profile",
@@ -114,6 +123,60 @@ def compute_report(
             seed=seed,
             kernel=trace_kernel,
             seed_scope=seed_scope,
+            replay=replay,
+        )
+
+
+def compute_reports(
+    spec: WorkloadSpec,
+    configs: List[MachineConfig],
+    engine: str,
+    trace_instructions: int = 200_000,
+    seed: int = 2017,
+    trace_kernel: Optional[str] = None,
+    seed_scope: Optional[str] = None,
+    replay: Optional[str] = None,
+) -> List[CounterReport]:
+    """Run one engine on one workload across a batch of machines.
+
+    The batched sibling of :func:`compute_report`: for the trace engine
+    this hands the whole machine batch to
+    :func:`repro.perf.trace_engine.profile_trace_batch`, which under
+    fused replay set-partitions each shared trace once and replays all
+    machines' tag arrays together (bit-identical to the per-pair path).
+    Other engines, and single-machine batches, fall back to per-pair
+    :func:`compute_report` calls so their span shapes are unchanged.
+    """
+    if engine != "trace" or len(configs) <= 1:
+        return [
+            compute_report(
+                spec,
+                config,
+                engine,
+                trace_instructions=trace_instructions,
+                seed=seed,
+                trace_kernel=trace_kernel,
+                seed_scope=seed_scope,
+                replay=replay,
+            )
+            for config in configs
+        ]
+    from repro.perf.trace_engine import profile_trace_batch
+
+    with span(
+        "profile.batch",
+        workload=spec.name,
+        machines=len(configs),
+        engine=engine,
+    ), stage_probe(f"profile.{engine}"):
+        return profile_trace_batch(
+            spec,
+            configs,
+            instructions=trace_instructions,
+            seed=seed,
+            kernel=trace_kernel,
+            seed_scope=seed_scope,
+            replay=replay,
         )
 
 
@@ -144,6 +207,14 @@ class Profiler:
         seeds bit-exactly.  ``None`` resolves to the session default
         (``$REPRO_TRACE_SEED_SCOPE`` or ``"geometry"``).  Ignored by
         the analytic engine.
+    replay:
+        Multi-machine replay strategy for the trace engine (see
+        :mod:`repro.uarch.fused`): ``"fused"`` simulates whole machine
+        batches over one shared set partition per trace; ``"independent"``
+        replays every (workload, machine) pair on its own.  The two are
+        bit-identical.  ``None`` resolves to the session default
+        (``$REPRO_REPLAY`` or ``"fused"``).  Ignored by the analytic
+        engine.
     cache_dir:
         Root of a persistent on-disk result cache; ``None`` (default)
         keeps caching purely in-process.
@@ -157,6 +228,7 @@ class Profiler:
         cache_dir: Optional[Union[str, Path]] = None,
         trace_kernel: Optional[str] = None,
         seed_scope: Optional[str] = None,
+        replay: Optional[str] = None,
     ) -> None:
         if engine not in _ENGINES:
             raise ConfigurationError(
@@ -167,6 +239,7 @@ class Profiler:
                 f"instructions must be > 0, got {trace_instructions}"
             )
         from repro.perf.trace_cache import resolve_seed_scope
+        from repro.uarch.fused import resolve_replay
         from repro.uarch.kernels import resolve_trace_kernel
 
         self.engine = engine
@@ -174,6 +247,7 @@ class Profiler:
         self.seed = seed
         self.trace_kernel = resolve_trace_kernel(trace_kernel)
         self.seed_scope = resolve_seed_scope(seed_scope)
+        self.replay = resolve_replay(replay)
         self.disk_cache: Optional[DiskCache] = (
             DiskCache(cache_dir) if cache_dir is not None else None
         )
@@ -196,6 +270,7 @@ class Profiler:
             self.seed,
             trace_kernel=self.trace_kernel,
             seed_scope=self.seed_scope,
+            replay=self.replay,
         )
 
     def lookup(
@@ -271,6 +346,7 @@ class Profiler:
             seed=self.seed,
             trace_kernel=self.trace_kernel,
             seed_scope=self.seed_scope,
+            replay=self.replay,
         )
         self.adopt(spec, config, report)
         return report

@@ -22,7 +22,7 @@ Scope notes (documented deviations, shared with the analytic engine):
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,13 +38,18 @@ from repro.perf.trace_cache import (
 )
 from repro.uarch.branch import build_predictor
 from repro.uarch.cache import Cache
+from repro.uarch.fused import FusedCounts, replay_fused, resolve_replay
 from repro.uarch.kernels import resolve_trace_kernel
 from repro.uarch.machine import MachineConfig
 from repro.uarch.pipeline import compute_cpi_stack
 from repro.uarch.tlb import TlbHierarchy
 from repro.workloads.spec import WorkloadSpec
 
-__all__ = ["profile_trace", "ENGINE_AGREEMENT_TOLERANCES"]
+__all__ = [
+    "profile_trace",
+    "profile_trace_batch",
+    "ENGINE_AGREEMENT_TOLERANCES",
+]
 
 #: Engine-agreement envelope: how far the exact engine may drift from
 #: the analytic model on L1/L2-scale structures (the structures small
@@ -97,6 +102,97 @@ def _reset_tlb_stats(tlbs: TlbHierarchy) -> None:
     tlbs.page_walks = 0
 
 
+def _assemble_report(
+    spec: WorkloadSpec,
+    machine: MachineConfig,
+    instructions: int,
+    warmup_fraction: float,
+    counts: FusedCounts,
+) -> CounterReport:
+    """Assemble a :class:`CounterReport` from raw post-warm-up counts.
+
+    Both replay modes funnel through this single assembly, so a fused
+    and an independent replay that count the same events produce
+    bit-identical reports by construction.
+    """
+    factor = machine.isa_path_factor
+    measured = instructions * (1.0 - warmup_fraction)
+    ki = measured / 1000.0 * factor  # measured machine kilo-instructions
+    mi = ki / 1000.0
+
+    data = counts.data_misses
+    inst = counts.inst_misses
+    l1d_misses, l2d_misses = data[0], data[1]
+    l3d_misses = data[2] if len(data) > 2 else data[1]
+    l1i_misses, l2i_misses = inst[0], inst[1]
+    l3i_misses = inst[2] if len(inst) > 2 else inst[1]
+
+    metrics: Dict[Metric, float] = {
+        Metric.L1D_MPKI: l1d_misses / ki,
+        Metric.L1I_MPKI: l1i_misses / ki,
+        Metric.L2D_MPKI: l2d_misses / ki,
+        Metric.L2I_MPKI: l2i_misses / ki,
+        Metric.L3_MPKI: (l3d_misses + l3i_misses) / ki,
+        Metric.L1_DTLB_MPMI: counts.dtlb_misses / mi,
+        Metric.L1_ITLB_MPMI: counts.itlb_misses / mi,
+        Metric.LAST_TLB_MPMI: counts.last_tlb_misses / mi,
+        Metric.PAGE_WALKS_PMI: counts.total_walks / mi,
+        Metric.BRANCH_MPKI: counts.mispredicts / ki,
+        Metric.BRANCH_TAKEN_PKI: counts.taken_count / ki,
+    }
+
+    mix = spec.mix
+    extra = factor - 1.0
+    metrics[Metric.PCT_LOAD] = mix.load / factor * 100.0
+    metrics[Metric.PCT_STORE] = mix.store / factor * 100.0
+    metrics[Metric.PCT_BRANCH] = mix.branch / factor * 100.0
+    metrics[Metric.PCT_FP] = mix.fp / factor * 100.0
+    metrics[Metric.PCT_SIMD] = mix.simd / factor * 100.0
+    metrics[Metric.PCT_INT] = (mix.int_alu + mix.other + extra) / factor * 100.0
+    metrics[Metric.PCT_KERNEL] = mix.kernel * 100.0
+    metrics[Metric.PCT_USER] = (1.0 - mix.kernel) * 100.0
+
+    stack = compute_cpi_stack(
+        width=machine.width,
+        ilp=spec.ilp,
+        mlp=spec.mlp,
+        latencies=machine.latencies,
+        mispredict_penalty=machine.predictor.mispredict_penalty,
+        l1d_mpki=metrics[Metric.L1D_MPKI],
+        l2d_mpki=metrics[Metric.L2D_MPKI],
+        l3_mpki=l3d_misses / ki,
+        l1i_mpki=metrics[Metric.L1I_MPKI],
+        l2i_mpki=metrics[Metric.L2I_MPKI],
+        branch_mpki=metrics[Metric.BRANCH_MPKI],
+        dtlb_walks_pmi=counts.data_walks / mi,
+        itlb_walks_pmi=(counts.total_walks - counts.data_walks) / mi,
+    )
+    metrics[Metric.CPI] = stack.total
+
+    power = None
+    if machine.power is not None:
+        power = machine.power.sample(
+            frequency_ghz=machine.frequency_ghz,
+            cpi=stack.total,
+            fp_fraction=mix.fp / factor,
+            simd_fraction=mix.simd / factor,
+            llc_accesses_per_ki=(l2d_misses + l2i_misses) / ki,
+            dram_accesses_per_ki=(l3d_misses + l3i_misses) / ki,
+        )
+        metrics[Metric.CORE_POWER_W] = power.core_watts
+        metrics[Metric.LLC_POWER_W] = power.llc_watts
+        metrics[Metric.DRAM_POWER_W] = power.dram_watts
+
+    return CounterReport(
+        workload=spec.name,
+        machine=machine.name,
+        metrics=metrics,
+        cpi_stack=stack,
+        power=power,
+        instructions=float(instructions) * factor,
+    )
+
+
 def profile_trace(
     spec: WorkloadSpec,
     machine: MachineConfig,
@@ -105,6 +201,7 @@ def profile_trace(
     warmup_fraction: float = 0.25,
     kernel: Optional[str] = None,
     seed_scope: Optional[str] = None,
+    replay: Optional[str] = None,
     trace_cache: Optional[TraceCache] = None,
 ) -> CounterReport:
     """Profile one workload on one machine by exact simulation.
@@ -128,6 +225,14 @@ def profile_trace(
     resolves via ``$REPRO_TRACE_SEED_SCOPE``.  ``trace_cache`` is the
     :class:`~repro.perf.trace_cache.TraceCache` to replay from (the
     process-wide default when ``None``).
+
+    ``replay`` selects the replay strategy (see
+    :mod:`repro.uarch.fused`): ``"fused"`` (default) routes through the
+    shared-pass batch engine (as a batch of one here; sweeps batch
+    machines per workload), ``"independent"`` keeps the historical
+    one-machine-at-a-time replay, and ``None`` resolves via
+    ``$REPRO_REPLAY``.  The modes are bit-identical; a ``scalar``
+    kernel always replays independently.
     """
     if instructions <= 0:
         raise ConfigurationError(
@@ -139,7 +244,20 @@ def profile_trace(
         )
     kernel = resolve_trace_kernel(kernel)
     seed_scope = resolve_seed_scope(seed_scope)
+    replay = resolve_replay(replay)
     vector = kernel == "vector"
+    if vector and replay == "fused":
+        return profile_trace_batch(
+            spec,
+            [machine],
+            instructions=instructions,
+            seed=seed,
+            warmup_fraction=warmup_fraction,
+            kernel=kernel,
+            seed_scope=seed_scope,
+            replay=replay,
+            trace_cache=trace_cache,
+        )[0]
     obs_metrics.incr("trace_engine.profiles")
     obs_metrics.incr("trace_engine.instructions", instructions)
     if vector:
@@ -189,9 +307,7 @@ def profile_trace(
                 l1d.access(address, is_write=is_store)
     # Writebacks inflate outer-level accesses but are not demand misses;
     # demand misses are each level's recorded miss count.
-    l1d_misses = data_chain[0].stats.misses
-    l2d_misses = data_chain[1].stats.misses
-    l3d_misses = data_chain[2].stats.misses if len(data_chain) > 2 else l2d_misses
+    data_misses = [level.stats.misses for level in data_chain]
 
     # ---- instruction caches ------------------------------------------------
     inst_chain = _build_chain(machine, "l1i")
@@ -208,9 +324,7 @@ def profile_trace(
                     for level in inst_chain:
                         level.stats.reset()
                 l1i.access(address)
-    l1i_misses = inst_chain[0].stats.misses
-    l2i_misses = inst_chain[1].stats.misses
-    l3i_misses = inst_chain[2].stats.misses if len(inst_chain) > 2 else l2i_misses
+    inst_misses = [level.stats.misses for level in inst_chain]
 
     # ---- TLBs ---------------------------------------------------------------
     tlbs = TlbHierarchy(
@@ -296,67 +410,122 @@ def profile_trace(
                     if taken:
                         taken_count += 1
 
-    metrics: Dict[Metric, float] = {
-        Metric.L1D_MPKI: l1d_misses / ki,
-        Metric.L1I_MPKI: l1i_misses / ki,
-        Metric.L2D_MPKI: l2d_misses / ki,
-        Metric.L2I_MPKI: l2i_misses / ki,
-        Metric.L3_MPKI: (l3d_misses + l3i_misses) / ki,
-        Metric.L1_DTLB_MPMI: dtlb_misses / mi,
-        Metric.L1_ITLB_MPMI: itlb_misses / mi,
-        Metric.LAST_TLB_MPMI: last_tlb_misses / mi,
-        Metric.PAGE_WALKS_PMI: total_walks / mi,
-        Metric.BRANCH_MPKI: mispredicts / ki,
-        Metric.BRANCH_TAKEN_PKI: taken_count / ki,
-    }
-
-    mix = spec.mix
-    extra = factor - 1.0
-    metrics[Metric.PCT_LOAD] = mix.load / factor * 100.0
-    metrics[Metric.PCT_STORE] = mix.store / factor * 100.0
-    metrics[Metric.PCT_BRANCH] = mix.branch / factor * 100.0
-    metrics[Metric.PCT_FP] = mix.fp / factor * 100.0
-    metrics[Metric.PCT_SIMD] = mix.simd / factor * 100.0
-    metrics[Metric.PCT_INT] = (mix.int_alu + mix.other + extra) / factor * 100.0
-    metrics[Metric.PCT_KERNEL] = mix.kernel * 100.0
-    metrics[Metric.PCT_USER] = (1.0 - mix.kernel) * 100.0
-
-    stack = compute_cpi_stack(
-        width=machine.width,
-        ilp=spec.ilp,
-        mlp=spec.mlp,
-        latencies=machine.latencies,
-        mispredict_penalty=machine.predictor.mispredict_penalty,
-        l1d_mpki=metrics[Metric.L1D_MPKI],
-        l2d_mpki=metrics[Metric.L2D_MPKI],
-        l3_mpki=l3d_misses / ki,
-        l1i_mpki=metrics[Metric.L1I_MPKI],
-        l2i_mpki=metrics[Metric.L2I_MPKI],
-        branch_mpki=metrics[Metric.BRANCH_MPKI],
-        dtlb_walks_pmi=data_walks / mi,
-        itlb_walks_pmi=(total_walks - data_walks) / mi,
+    counts = FusedCounts(
+        data_misses=data_misses,
+        inst_misses=inst_misses,
+        dtlb_misses=dtlb_misses,
+        data_walks=data_walks,
+        itlb_misses=itlb_misses,
+        total_walks=total_walks,
+        last_tlb_misses=last_tlb_misses,
+        mispredicts=mispredicts,
+        taken_count=taken_count,
     )
-    metrics[Metric.CPI] = stack.total
+    return _assemble_report(spec, machine, instructions, warmup_fraction, counts)
 
-    power = None
-    if machine.power is not None:
-        power = machine.power.sample(
-            frequency_ghz=machine.frequency_ghz,
-            cpi=stack.total,
-            fp_fraction=mix.fp / factor,
-            simd_fraction=mix.simd / factor,
-            llc_accesses_per_ki=(l2d_misses + l2i_misses) / ki,
-            dram_accesses_per_ki=(l3d_misses + l3i_misses) / ki,
+
+def profile_trace_batch(
+    spec: WorkloadSpec,
+    machines: Sequence[MachineConfig],
+    instructions: int = 200_000,
+    seed: int = 2017,
+    warmup_fraction: float = 0.25,
+    kernel: Optional[str] = None,
+    seed_scope: Optional[str] = None,
+    replay: Optional[str] = None,
+    trace_cache: Optional[TraceCache] = None,
+) -> List[CounterReport]:
+    """Profile one workload across a batch of machines in one pass.
+
+    Machines are grouped by effective trace identity — their resolved
+    trace seed plus (line_bytes, page_bytes) geometry — and each group
+    replays its shared trace through :func:`repro.uarch.fused.replay_fused`,
+    which set-partitions each access stream once per distinct structure
+    geometry instead of once per machine.  Under the ``machine`` seed
+    scope every group has one member, so the batch degrades gracefully
+    to independent work.  Reports come back in input order and are
+    bit-identical to ``replay="independent"`` (CI replays the whole
+    suite under ``REPRO_REPLAY=independent`` to enforce this).
+
+    A non-``fused`` replay selection or a ``scalar`` kernel loops over
+    :func:`profile_trace` instead, keeping the per-access oracle paths
+    exactly as they were.
+    """
+    if instructions <= 0:
+        raise ConfigurationError(
+            f"instructions must be > 0, got {instructions}"
         )
-        metrics[Metric.CORE_POWER_W] = power.core_watts
-        metrics[Metric.LLC_POWER_W] = power.llc_watts
-        metrics[Metric.DRAM_POWER_W] = power.dram_watts
-
-    return CounterReport(
-        workload=spec.name,
-        machine=machine.name,
-        metrics=metrics,
-        cpi_stack=stack,
-        power=power,
-        instructions=float(instructions) * factor,
-    )
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigurationError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    kernel = resolve_trace_kernel(kernel)
+    seed_scope = resolve_seed_scope(seed_scope)
+    replay = resolve_replay(replay)
+    machines = list(machines)
+    if not machines:
+        return []
+    if kernel != "vector" or replay != "fused":
+        return [
+            profile_trace(
+                spec,
+                machine,
+                instructions=instructions,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+                kernel=kernel,
+                seed_scope=seed_scope,
+                replay="independent",
+                trace_cache=trace_cache,
+            )
+            for machine in machines
+        ]
+    obs_metrics.incr("trace_engine.profiles", len(machines))
+    obs_metrics.incr("trace_engine.instructions", instructions * len(machines))
+    obs_metrics.incr("trace_engine.kernel_fastpath", len(machines))
+    if trace_cache is None:
+        trace_cache = default_trace_cache()
+    groups: Dict[tuple, List[int]] = {}
+    for index, machine in enumerate(machines):
+        effective_seed = trace_seed(
+            seed, spec, machine, instructions, seed_scope
+        )
+        key = (effective_seed, machine.l1d.line_bytes, machine.dtlb.page_bytes)
+        groups.setdefault(key, []).append(index)
+    reports: List[CounterReport] = [None] * len(machines)  # type: ignore[list-item]
+    for (effective_seed, line_bytes, page_bytes), indices in groups.items():
+        with span(
+            "trace.synthesize",
+            workload=spec.name,
+            instructions=instructions,
+            seed_scope=seed_scope,
+        ):
+            trace = trace_cache.get_or_synthesize(
+                spec,
+                instructions,
+                seed=effective_seed,
+                line_bytes=line_bytes,
+                page_bytes=page_bytes,
+            )
+        batch = [machines[i] for i in indices]
+        with span(
+            "trace.fused",
+            workload=spec.name,
+            machines=len(batch),
+            refs=int(trace.data_refs),
+            fetches=int(trace.ifetch_addresses.size),
+            branches=int(trace.branches),
+        ):
+            batch_counts = replay_fused(
+                batch,
+                trace.data_addresses,
+                trace.ifetch_addresses,
+                trace.branch_sites,
+                trace.branch_taken,
+                warmup_fraction,
+            )
+        for i, machine_counts in zip(indices, batch_counts):
+            reports[i] = _assemble_report(
+                spec, machines[i], instructions, warmup_fraction, machine_counts
+            )
+    return reports

@@ -636,6 +636,84 @@ def simulate_tlb(tlb, addresses: Iterable[int]) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
+def _segmented_clamp_scan(
+    steps: np.ndarray, seg: np.ndarray, max_seg: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inclusive segmented prefix composition of saturating-counter steps.
+
+    A saturating-counter update is the clamped add
+    ``f(c) = min(3, max(0, c + step))``, and compositions of clamped
+    adds stay in the three-parameter family
+    ``f(c) = min(h, max(l, c + s))`` — an associative monoid.  All
+    per-position prefix compositions within each segment are therefore
+    computed with O(log n) Hillis-Steele doubling passes of pure numpy
+    work instead of a per-access Python loop; doubling stops once the
+    stride covers ``max_seg``, the largest segment length.  Returns the
+    ``(s, h, l)`` arrays of the inclusive composition ending at each
+    position.
+    """
+    n = int(steps.size)
+    s = steps.astype(np.int64, copy=True)
+    h = np.full(n, 3, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    d = 1
+    while d < max_seg:
+        same = np.zeros(n, dtype=bool)
+        np.equal(seg[d:], seg[:-d], out=same[d:])
+        ps = np.zeros(n, dtype=np.int64)
+        ph = np.zeros(n, dtype=np.int64)
+        pl = np.zeros(n, dtype=np.int64)
+        ps[d:] = s[:-d]
+        ph[d:] = h[:-d]
+        pl[d:] = low[:-d]
+        # current element covers (i-d, i], the shifted one (i-2d, i-d]:
+        # compose shifted-first, current-second.
+        s2 = ps + s
+        l2 = np.maximum(low, pl + s)
+        h2 = np.minimum(h, np.maximum(low, ph + s))
+        s = np.where(same, s2, s)
+        low = np.where(same, l2, low)
+        h = np.where(same, h2, h)
+        d <<= 1
+    return s, h, low
+
+
+def _scan_counter_states(
+    counters: np.ndarray,
+    touched: np.ndarray,
+    bounds: List[int],
+    seg: np.ndarray,
+    steps: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pre-access counter states for a partitioned step stream.
+
+    Returns the counter value seen by each access (before its own
+    update) and writes the final per-counter states back into
+    ``counters`` — the vectorized equivalent of replaying each touched
+    counter's subsequence one access at a time.
+    """
+    n = int(steps.size)
+    sizes = np.diff(np.asarray(bounds, dtype=np.int64))
+    s, h, low = _segmented_clamp_scan(steps, seg, int(sizes.max()))
+    start = counters[touched].astype(np.int64)
+    c0 = np.repeat(start, sizes)
+    has_prev = np.zeros(n, dtype=bool)
+    has_prev[1:] = seg[1:] == seg[:-1]
+    ps = np.zeros(n, dtype=np.int64)
+    ph = np.zeros(n, dtype=np.int64)
+    pl = np.zeros(n, dtype=np.int64)
+    ps[1:] = s[:-1]
+    ph[1:] = h[:-1]
+    pl[1:] = low[:-1]
+    before = np.where(
+        has_prev, np.minimum(ph, np.maximum(pl, c0 + ps)), c0
+    )
+    last = np.asarray(bounds[1:], dtype=np.int64) - 1
+    finals = np.minimum(h[last], np.maximum(low[last], start + s[last]))
+    counters[touched] = finals
+    return before, c0
+
+
 def simulate_two_bit(
     counters: np.ndarray, indices: np.ndarray, taken: np.ndarray
 ) -> np.ndarray:
@@ -644,31 +722,20 @@ def simulate_two_bit(
     ``indices`` are the per-access table indices (already masked);
     ``counters`` is updated in place.  Returns the per-access predicted
     directions — identical to per-element predict-then-update because a
-    counter's trajectory depends only on its own access subsequence.
+    counter's trajectory depends only on its own access subsequence,
+    replayed here as a segmented clamped-add scan.
     """
     n = int(indices.size)
     if n == 0:
         return np.zeros(0, dtype=bool)
     order, touched, bounds = _group_by_set(indices)
-    taken_seq = taken[order].tolist()
-    keys = touched.tolist()
-    start_counters = counters[touched].tolist()
-    preds_sorted: List[bool] = []
-    ap = preds_sorted.append
-    finals: List[int] = []
-    for g in range(len(keys)):
-        c = start_counters[g]
-        for t in taken_seq[bounds[g] : bounds[g + 1]]:
-            ap(c >= 2)
-            if t:
-                if c < 3:
-                    c += 1
-            elif c > 0:
-                c -= 1
-        finals.append(c)
-    counters[keys] = finals
+    sizes = np.diff(np.asarray(bounds, dtype=np.int64))
+    seg = np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
+    t_sorted = taken[order]
+    steps = np.where(t_sorted, 1, -1).astype(np.int64)
+    before, _c0 = _scan_counter_states(counters, touched, bounds, seg, steps)
     preds = np.empty(n, dtype=bool)
-    preds[order] = preds_sorted
+    preds[order] = before >= 2
     return preds
 
 
@@ -711,26 +778,18 @@ def simulate_chooser(
     if n == 0:
         return np.zeros(0, dtype=bool)
     order, touched, bounds = _group_by_set(indices)
-    bp_sorted = pred_bimodal[order].tolist()
-    gp_sorted = pred_gshare[order].tolist()
-    t_sorted = taken[order].tolist()
-    keys = touched.tolist()
-    start_counters = chooser[touched].tolist()
-    preds_sorted: List[bool] = []
-    ap = preds_sorted.append
-    finals: List[int] = []
-    for g in range(len(keys)):
-        c = start_counters[g]
-        s, e = bounds[g], bounds[g + 1]
-        for bp, gp, t in zip(bp_sorted[s:e], gp_sorted[s:e], t_sorted[s:e]):
-            ap(gp if c >= 2 else bp)
-            if gp == t:
-                if bp != t and c < 3:
-                    c += 1
-            elif bp == t and c > 0:
-                c -= 1
-        finals.append(c)
-    chooser[keys] = finals
+    sizes = np.diff(np.asarray(bounds, dtype=np.int64))
+    seg = np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
+    bp_sorted = pred_bimodal[order]
+    gp_sorted = pred_gshare[order]
+    t_sorted = taken[order]
+    g_eq = gp_sorted == t_sorted
+    b_eq = bp_sorted == t_sorted
+    # The chooser moves only when exactly one component was right.
+    steps = (g_eq & ~b_eq).astype(np.int64) - (~g_eq & b_eq).astype(
+        np.int64
+    )
+    before, _c0 = _scan_counter_states(chooser, touched, bounds, seg, steps)
     preds = np.empty(n, dtype=bool)
-    preds[order] = preds_sorted
+    preds[order] = np.where(before >= 2, gp_sorted, bp_sorted)
     return preds

@@ -1,0 +1,470 @@
+"""Fused multi-machine replay: knob, parity oracle, spill tier, crashes.
+
+The fused engine (:mod:`repro.uarch.fused`) promises **bit-identical**
+reports to independent per-machine replay — the property suite here is
+the oracle that backs the claim, driven by the shared
+:mod:`tests.parity` harness over randomized geometries, warm-up
+fractions and seed scopes.  The spill-tier tests cover the second half
+of the tentpole: traces evicted from the resident LRU survive on disk
+and come back memory-mapped and bit-identical, with corruption
+degrading to resynthesis.  The executor tests pin the fused crash
+contract: a batch that dies names *every* pair it carried.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.parity import (
+    assert_reports_identical,
+    rng_for,
+    sample_machine_batch,
+    sample_warmup,
+    sample_window,
+    sample_workload,
+    traces_equal,
+)
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.perf.diskcache import cache_key
+from repro.perf.profiler import Profiler
+from repro.perf.trace_cache import (
+    SPILL_BYTES_ENV,
+    SPILL_DIR_ENV,
+    TraceCache,
+    trace_key,
+)
+from repro.perf.trace_engine import profile_trace, profile_trace_batch
+from repro.uarch.fused import (
+    REPLAY_ENV,
+    REPLAY_MODES,
+    default_replay,
+    resolve_replay,
+    validate_replay,
+)
+from repro.uarch.machine import PAPER_MACHINE_NAMES, get_machine, paper_machines
+from repro.workloads.spec import get_workload
+from repro.workloads.synthesis import synthesize_trace
+
+MCF = get_workload("505.mcf_r")
+SKYLAKE = get_machine("skylake-i7-6700")
+
+
+class TestReplayKnob:
+    """Selection, validation and cache keying of the replay knob."""
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            validate_replay("parallel")
+        with pytest.raises(ConfigurationError):
+            resolve_replay("batched")
+        assert set(REPLAY_MODES) == {"independent", "fused"}
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv(REPLAY_ENV, raising=False)
+        assert default_replay() == "fused"
+        assert resolve_replay(None) == "fused"
+        monkeypatch.setenv(REPLAY_ENV, "independent")
+        assert default_replay() == "independent"
+        assert resolve_replay(None) == "independent"
+        # An explicit choice still beats the environment.
+        assert resolve_replay("fused") == "fused"
+        monkeypatch.setenv(REPLAY_ENV, "bogus")
+        with pytest.raises(ConfigurationError):
+            default_replay()
+
+    def test_profiler_resolves_replay_at_init(self, monkeypatch):
+        monkeypatch.delenv(REPLAY_ENV, raising=False)
+        assert Profiler(engine="trace").replay == "fused"
+        assert (
+            Profiler(engine="trace", replay="independent").replay
+            == "independent"
+        )
+        monkeypatch.setenv(REPLAY_ENV, "independent")
+        assert Profiler(engine="trace").replay == "independent"
+        with pytest.raises(ConfigurationError):
+            Profiler(engine="trace", replay="nope")
+
+    def test_cli_flag_threads_into_profiler(self, monkeypatch):
+        monkeypatch.delenv(REPLAY_ENV, raising=False)
+        from repro.cli import _make_profiler, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "profile", "505.mcf_r", "--engine", "trace",
+                "--replay", "independent", "--no-disk-cache",
+            ]
+        )
+        assert _make_profiler(args).replay == "independent"
+        args = parser.parse_args(
+            ["profile", "505.mcf_r", "--engine", "trace", "--no-disk-cache"]
+        )
+        assert _make_profiler(args).replay == "fused"
+
+    def test_cache_key_distinguishes_replays_for_trace_only(self):
+        trace_keys = {
+            cache_key(MCF, SKYLAKE, "trace", 1000, 1, replay=replay)
+            for replay in REPLAY_MODES
+        }
+        assert len(trace_keys) == len(REPLAY_MODES)
+        analytic_keys = {
+            cache_key(MCF, SKYLAKE, "analytic", 1000, 1, replay=replay)
+            for replay in REPLAY_MODES
+        }
+        assert len(analytic_keys) == 1
+
+
+class TestFusedParity:
+    """Fused vs. independent replay must be bit-identical, always.
+
+    Randomized-case budget (tests/parity.py contract): 20 trials with
+    2–5 machines each contribute ~70 report-level parity cases on top
+    of the kernel-parity suites.
+    """
+
+    def test_randomized_batches_match_independent(self):
+        for trial in range(20):
+            rnd = rng_for("fused-batch", trial)
+            spec = sample_workload(rnd)
+            machines = sample_machine_batch(rnd, rnd.choice([2, 3, 4, 5]))
+            window = sample_window(rnd)
+            warmup = sample_warmup(rnd)
+            scope = rnd.choice(["geometry", "machine"])
+            fused = profile_trace_batch(
+                spec,
+                machines,
+                instructions=window,
+                warmup_fraction=warmup,
+                kernel="vector",
+                seed_scope=scope,
+                replay="fused",
+            )
+            for machine, got in zip(machines, fused):
+                want = profile_trace(
+                    spec,
+                    machine,
+                    instructions=window,
+                    warmup_fraction=warmup,
+                    kernel="vector",
+                    seed_scope=scope,
+                    replay="independent",
+                )
+                assert_reports_identical(
+                    got, want,
+                    f"trial={trial} scope={scope} warmup={warmup} "
+                    f"window={window} machine={machine.name}",
+                )
+
+    def test_paper_machine_sweep_is_bit_identical(self):
+        machines = paper_machines()
+        fused = profile_trace_batch(
+            MCF, machines, instructions=5_000, kernel="vector",
+            replay="fused",
+        )
+        for machine, got in zip(machines, fused):
+            want = profile_trace(
+                MCF, machine, instructions=5_000, kernel="vector",
+                replay="independent",
+            )
+            assert_reports_identical(got, want, machine.name)
+
+    def test_single_machine_batch_degenerates_to_profile_trace(self):
+        (got,) = profile_trace_batch(
+            MCF, [SKYLAKE], instructions=3_000, kernel="vector",
+            replay="fused",
+        )
+        want = profile_trace(
+            MCF, SKYLAKE, instructions=3_000, kernel="vector",
+            replay="independent",
+        )
+        assert_reports_identical(got, want)
+
+    def test_scalar_kernel_report_unchanged_by_replay_knob(self):
+        # The fused batch path requires the vector kernels; under the
+        # scalar oracle the knob must be a no-op, not an error.
+        for replay in REPLAY_MODES:
+            got = profile_trace(
+                MCF, SKYLAKE, instructions=2_000, kernel="scalar",
+                replay=replay,
+            )
+            want = profile_trace(
+                MCF, SKYLAKE, instructions=2_000, kernel="vector",
+                replay="independent",
+            )
+            assert_reports_identical(got, want, f"scalar/{replay}")
+
+    def test_batch_order_is_input_order(self):
+        machines = [get_machine(name) for name in PAPER_MACHINE_NAMES]
+        reports = profile_trace_batch(
+            MCF, machines, instructions=2_000, kernel="vector",
+            replay="fused",
+        )
+        assert [r.machine for r in reports] == [m.name for m in machines]
+
+
+class TestSpillTier:
+    """The memory-mapped spill tier under eviction, damage and clear()."""
+
+    def _spilling_cache(self, tmp_path, **kwargs):
+        kwargs.setdefault("capacity_bytes", 100_000)  # one ~82 KB trace
+        return TraceCache(spill_dir=tmp_path / "spill", **kwargs)
+
+    def _synthesize(self, cache, seed):
+        return cache.get_or_synthesize(
+            MCF, 20_000, seed=seed, line_bytes=64, page_bytes=4096
+        )
+
+    def test_evicted_trace_returns_memory_mapped_and_bit_identical(
+        self, tmp_path
+    ):
+        cache = self._spilling_cache(tmp_path)
+        first = self._synthesize(cache, seed=1)
+        self._synthesize(cache, seed=2)  # evicts seed=1 to the spill tier
+        info = cache.stats()
+        assert info.evictions == 1
+        assert info.spills == 1
+        assert info.spilled_entries == 1
+        assert info.spilled_bytes > 0
+        rehit = self._synthesize(cache, seed=1)
+        info = cache.stats()
+        assert info.spill_hits == 1
+        assert info.misses == 2  # a spill hit is *not* a synthesis
+        assert traces_equal(first, rehit)
+        assert isinstance(rehit.data_addresses, np.memmap)
+        assert not rehit.data_addresses.flags.writeable
+        assert rehit.instructions == first.instructions
+
+    def test_spill_hit_counts_toward_hit_rate(self, tmp_path):
+        cache = self._spilling_cache(tmp_path)
+        self._synthesize(cache, seed=1)
+        self._synthesize(cache, seed=2)
+        self._synthesize(cache, seed=1)  # spill hit
+        info = cache.stats()
+        assert info.hit_rate == pytest.approx(1.0 / 3.0)
+
+    def test_corrupted_spill_entry_resynthesizes_not_crashes(self, tmp_path):
+        cache = self._spilling_cache(tmp_path)
+        self._synthesize(cache, seed=1)
+        self._synthesize(cache, seed=2)
+        for npy in (tmp_path / "spill").rglob("*.npy"):
+            npy.write_bytes(b"not a numpy file")
+        before = cache.stats()
+        again = self._synthesize(cache, seed=1)
+        info = cache.stats()
+        assert info.misses == before.misses + 1  # resynthesized
+        assert info.spill_hits == before.spill_hits
+        # The corrupt entry was dropped; re-inserting seed=1 evicted
+        # seed=2, whose (fresh) spill replaces it one-for-one.
+        assert info.spills == before.spills + 1
+        assert info.spilled_entries == before.spilled_entries
+        fresh = synthesize_trace(
+            MCF, 20_000, seed=1, line_bytes=64, page_bytes=4096
+        )
+        assert traces_equal(again, fresh)
+
+    def test_missing_spill_file_resynthesizes(self, tmp_path):
+        cache = self._spilling_cache(tmp_path)
+        self._synthesize(cache, seed=1)
+        self._synthesize(cache, seed=2)
+        victim = next((tmp_path / "spill").rglob("branch_taken.npy"))
+        victim.unlink()
+        again = self._synthesize(cache, seed=1)
+        assert cache.stats().misses == 3
+        fresh = synthesize_trace(
+            MCF, 20_000, seed=1, line_bytes=64, page_bytes=4096
+        )
+        assert traces_equal(again, fresh)
+
+    def test_two_tier_byte_accounting_is_separate_and_bounded(self, tmp_path):
+        cache = self._spilling_cache(tmp_path, capacity_bytes=180_000)
+        for seed in range(6):
+            self._synthesize(cache, seed=seed)
+            info = cache.stats()
+            assert info.resident_bytes <= 180_000
+        info = cache.stats()
+        assert info.evictions == info.spills > 0
+        # Spilled bytes account exactly the evicted traces, separately
+        # from residency (nothing is double-counted).
+        per_trace = info.resident_bytes // info.entries
+        assert info.spilled_bytes == info.spills * per_trace
+        on_disk = sum(
+            f.stat().st_size for f in (tmp_path / "spill").rglob("*.npy")
+        )
+        assert on_disk >= info.spilled_bytes  # .npy headers add a little
+
+    def test_spill_capacity_evicts_oldest_spill_files(self, tmp_path):
+        # Room for two spilled traces (~82 KB each): spilling a third
+        # must unlink the oldest entry's files and unaccount its bytes.
+        cache = self._spilling_cache(
+            tmp_path, spill_capacity_bytes=170_000
+        )
+        for seed in range(4):  # seeds 0..2 get evicted+spilled in order
+            self._synthesize(cache, seed=seed)
+        info = cache.stats()
+        assert info.spills == 3
+        assert info.spilled_entries == 2  # oldest spill evicted
+        assert info.spilled_bytes <= 170_000
+        dirs = [p for p in (tmp_path / "spill").iterdir() if p.is_dir()]
+        assert len(dirs) == 2
+        # The survivor entries still round-trip.
+        assert cache.get(trace_key(MCF, 20_000, 1, 64, 4096)) is None
+        rehit = self._synthesize(cache, seed=2)
+        assert cache.stats().spill_hits == 1
+        assert traces_equal(
+            rehit,
+            synthesize_trace(MCF, 20_000, seed=2, line_bytes=64,
+                             page_bytes=4096),
+        )
+
+    def test_oversized_trace_is_not_spilled(self, tmp_path):
+        cache = self._spilling_cache(
+            tmp_path, spill_capacity_bytes=10_000
+        )
+        self._synthesize(cache, seed=1)
+        self._synthesize(cache, seed=2)
+        info = cache.stats()
+        assert info.evictions == 1
+        assert info.spills == 0
+        assert not (tmp_path / "spill").exists()
+
+    def test_clear_purges_spill_tier_and_zeroes_gauge(self, tmp_path):
+        # Satellite 3, mirroring the PR 6 resident_bytes fix: clear()
+        # must drop the spill files, the index *and* the registry gauge
+        # — otherwise a cleared cache resurrects pre-clear traces and
+        # manifests report disk the cache no longer holds.
+        from repro import obs
+
+        obs.metrics.reset()
+        obs.enable()
+        try:
+            cache = self._spilling_cache(tmp_path)
+            self._synthesize(cache, seed=1)
+            self._synthesize(cache, seed=2)
+            assert obs.snapshot()["gauges"]["trace_cache.spilled_bytes"] > 0
+            cache.clear()
+            assert obs.snapshot()["gauges"]["trace_cache.spilled_bytes"] == 0
+            assert obs.snapshot()["gauges"]["trace_cache.resident_bytes"] == 0
+            info = cache.stats()
+            assert info.spilled_entries == 0 and info.spilled_bytes == 0
+            assert not any((tmp_path / "spill").iterdir())
+            # No resurrection: the next lookup is a synthesis.
+            self._synthesize(cache, seed=1)
+            assert cache.stats().misses == 1
+            assert cache.stats().spill_hits == 0
+        finally:
+            obs.disable()
+            obs.metrics.reset()
+
+    def test_spill_disabled_by_default_eviction_means_resynthesis(
+        self, monkeypatch
+    ):
+        monkeypatch.delenv(SPILL_DIR_ENV, raising=False)
+        cache = TraceCache(capacity_bytes=100_000)
+        assert cache.spill_dir is None
+        self._synthesize(cache, seed=1)
+        self._synthesize(cache, seed=2)
+        self._synthesize(cache, seed=1)
+        info = cache.stats()
+        assert info.misses == 3
+        assert info.spills == 0 and info.spill_hits == 0
+
+    def test_env_overrides_and_validation(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SPILL_DIR_ENV, str(tmp_path / "envspill"))
+        monkeypatch.setenv(SPILL_BYTES_ENV, "54321")
+        cache = TraceCache(capacity_bytes=100_000)
+        assert cache.spill_dir == tmp_path / "envspill"
+        assert cache.spill_capacity_bytes == 54321
+        monkeypatch.setenv(SPILL_BYTES_ENV, "lots")
+        with pytest.raises(ConfigurationError):
+            TraceCache()
+        monkeypatch.delenv(SPILL_BYTES_ENV, raising=False)
+        with pytest.raises(ConfigurationError):
+            TraceCache(spill_capacity_bytes=-1)
+
+
+class TestFusedExecutorCrash:
+    """Satellite 4: a dying fused batch names every pair it carried."""
+
+    WORKLOADS = ("505.mcf_r", "541.leela_r")
+    MACHINES = ("skylake-i7-6700", "sparc-t4")
+
+    def _pairs(self):
+        return [
+            (get_workload(w), get_machine(m))
+            for w in self.WORKLOADS
+            for m in self.MACHINES
+        ]
+
+    def _crash_batches_for(self, monkeypatch, fail_on: str):
+        import repro.perf.executor as mod
+
+        real = mod.compute_reports
+
+        def flaky(spec, configs, engine, **kwargs):
+            if spec.name == fail_on:
+                raise RuntimeError("simulated fused-batch crash")
+            return real(spec, configs, engine, **kwargs)
+
+        monkeypatch.setattr(mod, "compute_reports", flaky)
+
+    def _profiler(self):
+        # Explicit vector kernel + fused replay so the batch path stays
+        # active under the scalar-/independent-oracle CI environments.
+        return Profiler(
+            engine="trace",
+            trace_instructions=2_000,
+            trace_kernel="vector",
+            replay="fused",
+        )
+
+    def test_serial_fused_crash_names_every_pair_in_the_batch(
+        self, monkeypatch
+    ):
+        from repro.perf.executor import ProfilingExecutor
+
+        self._crash_batches_for(monkeypatch, fail_on="541.leela_r")
+        executor = ProfilingExecutor(self._profiler(), jobs=1)
+        with pytest.raises(ExecutionError) as excinfo:
+            executor.run(self._pairs())
+        message = str(excinfo.value)
+        for machine in self.MACHINES:
+            assert f"541.leela_r@{machine}" in message
+            assert f"505.mcf_r@{machine}" not in message
+
+    def test_worker_fused_crash_names_every_pair_in_the_batch(
+        self, monkeypatch
+    ):
+        from repro.perf.executor import ProfilingExecutor
+
+        self._crash_batches_for(monkeypatch, fail_on="505.mcf_r")
+        # chunk_size=2 keeps each workload's machine pairs in one
+        # fused chunk (workload_chunks dispatches workload-major).
+        executor = ProfilingExecutor(
+            self._profiler(), jobs=2, backend="thread", chunk_size=2
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            executor.run(self._pairs())
+        message = str(excinfo.value)
+        for machine in self.MACHINES:
+            assert f"505.mcf_r@{machine}" in message
+            assert f"541.leela_r@{machine}" not in message
+
+    def test_fused_sweep_matches_independent_sweep_through_executor(self):
+        from repro.perf.executor import ProfilingExecutor
+
+        def sweep(replay):
+            profiler = Profiler(
+                engine="trace",
+                trace_instructions=2_000,
+                trace_kernel="vector",
+                replay=replay,
+            )
+            executor = ProfilingExecutor(profiler, jobs=2, backend="thread")
+            return executor.run(self._pairs())
+
+        fused = sweep("fused")
+        independent = sweep("independent")
+        for got, want in zip(fused, independent):
+            assert_reports_identical(got, want, f"{want.workload}@{want.machine}")

@@ -7,17 +7,26 @@ structure state (tags, dirty bits, stamps, clock), same statistics,
 same warm-up cut semantics and the same RANDOM-policy RNG draws.
 
 The property-based classes drive both implementations over seeded
-randomized geometries and streams (stdlib ``random``, fixed seeds, so
-failures replay deterministically) and compare *everything*, not just
-the returned arrays.
+randomized geometries and streams from the shared :mod:`tests.parity`
+harness (stdlib ``random`` via :func:`tests.parity.rng_for`, hash-based
+seeds, so failures replay deterministically across processes) and
+compare *everything*, not just the returned arrays.
 """
 
 from __future__ import annotations
 
-import random
-
 import numpy as np
 import pytest
+
+from tests.parity import (
+    assert_cache_states_equal,
+    assert_predictor_states_equal,
+    assert_tlb_states_equal,
+    rng_for,
+    sample_cache_config,
+    sample_predictor_spec,
+    sample_tlb_config,
+)
 
 from repro.errors import ConfigurationError
 from repro.perf.diskcache import cache_key
@@ -36,45 +45,18 @@ from repro.uarch.tlb import TlbConfig, TlbHierarchy
 from repro.workloads.spec import get_workload
 
 
-def assert_cache_states_equal(vec, ref) -> None:
-    """Full-state equality of two cache chains (not just statistics)."""
-    assert np.array_equal(vec._tags, ref._tags)
-    assert np.array_equal(vec._dirty, ref._dirty)
-    assert np.array_equal(vec._stamp, ref._stamp)
-    assert vec._clock == ref._clock
-    assert vars(vec.stats) == vars(ref.stats)
-
-
-def assert_tlb_states_equal(vec, ref) -> None:
-    """Full-state equality of two TLBs."""
-    assert np.array_equal(vec._tags, ref._tags)
-    assert np.array_equal(vec._stamp, ref._stamp)
-    assert vec._clock == ref._clock
-    assert vec.accesses == ref.accesses
-    assert vec.misses == ref.misses
-
-
 class TestCacheParity:
     """access_many vs. the scalar access loop, over random geometries."""
 
     @pytest.mark.parametrize("policy", list(ReplacementPolicy))
     def test_randomized_chains(self, policy):
-        rnd = random.Random(hash(policy.value) & 0xFFFF)
-        for trial in range(12):
+        rnd = rng_for("cache-parity", policy.value)
+        for trial in range(16):
             levels = rnd.choice([1, 2, 3])
-            configs = []
-            for _ in range(levels):
-                assoc = rnd.choice([1, 2, 4, 8])
-                line = rnd.choice([32, 64])
-                sets = rnd.choice([2, 3, 4, 6, 8])  # incl. non-power-of-two
-                configs.append(
-                    CacheConfig(
-                        size_bytes=line * assoc * sets,
-                        line_bytes=line,
-                        associativity=assoc,
-                        policy=policy,
-                    )
-                )
+            configs = [
+                sample_cache_config(rnd, policy=policy)
+                for _ in range(levels)
+            ]
             chain_v = build_hierarchy(configs)
             chain_s = build_hierarchy(configs)
             for cv, cs in zip(chain_v, chain_s):
@@ -125,7 +107,7 @@ class TestCacheParity:
         config = CacheConfig(size_bytes=1024, line_bytes=64, associativity=2)
         chain_v = build_hierarchy([config])
         chain_s = build_hierarchy([config])
-        rnd = random.Random(7)
+        rnd = rng_for("cache-hit-array")
         addrs = np.array(
             [rnd.randrange(0, 1 << 12) for _ in range(300)], dtype=np.int64
         )
@@ -149,9 +131,9 @@ class TestTlbParity:
 
     @pytest.mark.parametrize("shape", ["no_l2", "unified", "split"])
     def test_randomized_hierarchies(self, shape):
-        rnd = random.Random(hash(shape) & 0xFFFF)
-        for trial in range(10):
-            l1 = TlbConfig(entries=32, associativity=rnd.choice([2, 4]))
+        rnd = rng_for("tlb-parity", shape)
+        for trial in range(12):
+            l1 = sample_tlb_config(rnd)
             l2 = (
                 None
                 if shape == "no_l2"
@@ -209,10 +191,11 @@ class TestPredictorParity:
         "kind", ["static", "bimodal", "gshare", "tournament"]
     )
     def test_randomized_streams(self, kind):
-        rnd = random.Random(hash(kind) & 0xFFFF)
-        for trial in range(8):
+        rnd = rng_for("predictor-parity", kind)
+        for trial in range(12):
             spec = PredictorSpec(
-                kind=kind, table_entries=rnd.choice([64, 256, 1024])
+                kind=kind,
+                table_entries=sample_predictor_spec(rnd).table_entries,
             )
             pv = build_predictor(spec)
             ps = build_predictor(spec)
@@ -232,21 +215,7 @@ class TestPredictorParity:
             )
             got = pv.predict_many(pcs, taken)
             assert np.array_equal(got, expected)
-            for attr in ("_counters", "_chooser", "_history"):
-                if hasattr(ps, attr):
-                    a, b = getattr(pv, attr), getattr(ps, attr)
-                    if isinstance(b, np.ndarray):
-                        assert np.array_equal(a, b)
-                    else:
-                        assert a == b
-            if kind == "tournament":
-                assert np.array_equal(
-                    pv._bimodal._counters, ps._bimodal._counters
-                )
-                assert np.array_equal(
-                    pv._gshare._counters, ps._gshare._counters
-                )
-                assert pv._gshare._history == ps._gshare._history
+            assert_predictor_states_equal(pv, ps)
 
     def test_base_class_fallback_matches(self):
         # A predictor without a batch override must still work through
