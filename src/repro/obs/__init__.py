@@ -22,6 +22,12 @@ validation, design-space exploration):
 * :mod:`repro.obs.profiling` — sampling wall/CPU stack profiler and
   ``tracemalloc`` memory gauges (``--profile``), with flamegraph
   export (``repro obs flame``) and cross-process merge support.
+* :mod:`repro.obs.live` — live telemetry hub: streaming worker
+  heartbeats, progress/ETA tracking and stall detection while a sweep
+  is in flight (``--serve-port``).
+* :mod:`repro.obs.httpd` — stdlib HTTP server exposing ``/metrics``,
+  ``/status``, ``/events`` (SSE) and ``/healthz`` (``--serve-port``,
+  ``repro obs serve``).
 
 Everything is off by default and zero-cost when off: disabled call
 sites reduce to a single branch (see DESIGN.md, "Observability").
@@ -40,6 +46,8 @@ from repro.obs import (
     baseline,
     export,
     history,
+    httpd,
+    live,
     manifest,
     metrics,
     openmetrics,
@@ -100,6 +108,8 @@ __all__ = [
     "export",
     "finished_roots",
     "history",
+    "httpd",
+    "live",
     "openmetrics",
     "incr",
     "instrument",

@@ -1,0 +1,287 @@
+"""HTTP exposition of live telemetry: ``/metrics``, ``/status``,
+``/events``, ``/healthz``.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` (zero dependencies,
+daemon threads) serving four endpoints:
+
+* ``GET /metrics`` — the current metrics registry rendered by
+  :func:`repro.obs.openmetrics.render_openmetrics`, with the correct
+  OpenMetrics content type and terminating ``# EOF``, so any
+  Prometheus-compatible scraper can poll a sweep mid-flight.
+* ``GET /status`` — JSON: sweep progress (done/total/rate/ETA), the
+  per-worker liveness table, in-flight chunks and the sweep-relevant
+  counter/gauge series (from :meth:`repro.obs.live.LiveHub.status`).
+* ``GET /events`` — a Server-Sent-Events stream of live hub events
+  (ring-buffer replay, then live fan-out).  ``?limit=N`` closes the
+  stream after N events; ``?replay=0`` skips the backlog.
+* ``GET /healthz`` — liveness probe (``ok``).
+
+Two sources back the endpoints: the **live** source (default) reads
+the process-wide metrics registry and the active
+:class:`~repro.obs.live.LiveHub`, which is how ``--serve-port`` serves
+a running sweep; the **ledger** source (``repro obs serve`` with no
+active sweep) serves a recorded run's metrics snapshot and manifest
+from the run-history ledger.
+
+The server runs on a daemon thread (``serve_forever`` with a short
+poll interval) and :meth:`LiveServer.close` both stops the accept loop
+and signals open SSE streams to finish, so a CLI run never hangs on a
+connected client at exit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs import live as obs_live
+from repro.obs import metrics as obs_metrics
+from repro.obs import openmetrics as obs_openmetrics
+
+__all__ = [
+    "LiveServer",
+    "start_server",
+    "ledger_source",
+    "OPENMETRICS_CONTENT_TYPE",
+]
+
+#: The content type OpenMetrics scrapers negotiate.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Seconds between SSE keep-alive comments while no event arrives.
+_SSE_POLL_S = 0.25
+
+#: HTML index so a browser hitting the root finds the endpoints.
+_INDEX = (
+    "repro live telemetry\n"
+    "  GET /metrics  OpenMetrics exposition\n"
+    "  GET /status   JSON sweep/worker status\n"
+    "  GET /events   Server-Sent-Events stream (?limit=N)\n"
+    "  GET /healthz  liveness probe\n"
+)
+
+MetricsSource = Callable[[], Tuple[dict, Optional[dict]]]
+StatusSource = Callable[[], dict]
+
+
+def _live_metrics() -> Tuple[dict, Optional[dict]]:
+    return obs_metrics.snapshot(), None
+
+
+def _live_status() -> dict:
+    hub = obs_live.active_hub()
+    if hub is not None:
+        status = hub.status()
+        status["source"] = "live"
+        return status
+    gauges = obs_metrics.snapshot(prefix=(
+        "trace_cache.", "executor.", "profiler.", "progress.",
+    ))
+    return {
+        "active": False,
+        "source": "live",
+        "sweeps": [],
+        "workers": [],
+        "inflight_chunks": {},
+        "counters": gauges["counters"],
+        "gauges": gauges["gauges"],
+    }
+
+
+def ledger_source(document: dict) -> Tuple[MetricsSource, StatusSource]:
+    """Metrics/status sources serving one recorded ledger run.
+
+    Used by ``repro obs serve`` when no sweep is active: ``/metrics``
+    renders the run's recorded snapshot (with its manifest's stage
+    gauges and ``run_info``) and ``/status`` reports the run identity
+    with ``"active": false``.
+    """
+    manifest = document.get("manifest", {})
+    snapshot = manifest.get("metrics", {}) or {}
+
+    def metrics_fn() -> Tuple[dict, Optional[dict]]:
+        return snapshot, manifest
+
+    def status_fn() -> dict:
+        return {
+            "active": False,
+            "source": "ledger",
+            "run": {
+                "id": document.get("id"),
+                "seq": document.get("seq"),
+                "command": manifest.get("command"),
+                "argv": manifest.get("argv", []),
+                "elapsed_seconds": manifest.get("elapsed_s"),
+            },
+            "sweeps": [],
+            "workers": [],
+            "inflight_chunks": {},
+            "counters": snapshot.get("counters", {}),
+            "gauges": snapshot.get("gauges", {}),
+        }
+
+    return metrics_fn, status_fn
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Request handler; all state lives on the owning server."""
+
+    server_version = "repro-obs"
+    protocol_version = "HTTP/1.1"
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # a 100 ms scrape loop would drown the sweep's own heartbeats.
+    def log_message(self, *_args: object) -> None:
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                self._serve_metrics()
+            elif path == "/status":
+                self._serve_status()
+            elif path == "/events":
+                self._serve_events(parse_qs(parts.query))
+            elif path == "/healthz":
+                self._respond(200, "text/plain; charset=utf-8", "ok\n")
+            elif path == "/":
+                self._respond(200, "text/plain; charset=utf-8", _INDEX)
+            else:
+                self._respond(
+                    404, "text/plain; charset=utf-8",
+                    f"unknown path {path!r}\n{_INDEX}",
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def _respond(self, code: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _serve_metrics(self) -> None:
+        snapshot, manifest = self.server.metrics_fn()  # type: ignore[attr-defined]
+        text = obs_openmetrics.render_openmetrics(snapshot, manifest)
+        self._respond(200, OPENMETRICS_CONTENT_TYPE, text)
+
+    def _serve_status(self) -> None:
+        status = self.server.status_fn()  # type: ignore[attr-defined]
+        self._respond(
+            200, "application/json; charset=utf-8",
+            json.dumps(status, indent=2, sort_keys=True) + "\n",
+        )
+
+    def _serve_events(self, query: dict) -> None:
+        limit = None
+        if "limit" in query:
+            try:
+                limit = max(int(query["limit"][0]), 0)
+            except ValueError:
+                limit = None
+        replay = query.get("replay", ["1"])[0] not in ("0", "false")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        # SSE is an unbounded stream; disable keep-alive framing.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        hub = obs_live.active_hub()
+        if hub is None:
+            self.wfile.write(b": no active sweep; event stream is empty\n\n")
+            self.wfile.flush()
+            return
+        subscriber = hub.subscribe(replay=replay)
+        sent = 0
+        try:
+            while not self.server.stopping.is_set():  # type: ignore[attr-defined]
+                if limit is not None and sent >= limit:
+                    return
+                try:
+                    event = subscriber.get(timeout=_SSE_POLL_S)
+                except Exception:
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                body = json.dumps(event, sort_keys=True)
+                frame = (
+                    f"id: {event.get('seq', 0)}\n"
+                    f"event: {event.get('kind', 'message')}\n"
+                    f"data: {body}\n\n"
+                )
+                self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+                sent += 1
+        finally:
+            hub.unsubscribe(subscriber)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class LiveServer:
+    """A running telemetry server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port; the resolved one is in
+    :attr:`port` / :attr:`url`.  ``metrics_fn`` / ``status_fn`` default
+    to the live sources (process registry + active hub).
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        metrics_fn: Optional[MetricsSource] = None,
+        status_fn: Optional[StatusSource] = None,
+    ) -> None:
+        self._httpd = _Server((host, port), _TelemetryHandler)
+        self._httpd.metrics_fn = metrics_fn or _live_metrics  # type: ignore[attr-defined]
+        self._httpd.status_fn = status_fn or _live_status  # type: ignore[attr-defined]
+        self._httpd.stopping = threading.Event()  # type: ignore[attr-defined]
+        self.host = self._httpd.server_address[0]
+        self.port = self._httpd.server_address[1]
+        self.url = f"http://{self.host}:{self.port}"
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-obs-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop accepting, unblock SSE streams, join the serve thread."""
+        self._httpd.stopping.set()  # type: ignore[attr-defined]
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "LiveServer":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+def start_server(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    metrics_fn: Optional[MetricsSource] = None,
+    status_fn: Optional[StatusSource] = None,
+) -> LiveServer:
+    """Start (and return) a :class:`LiveServer` on a daemon thread."""
+    return LiveServer(
+        port=port, host=host, metrics_fn=metrics_fn, status_fn=status_fn
+    )

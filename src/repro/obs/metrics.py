@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import trace as _trace
 
@@ -70,12 +70,13 @@ DEFAULT_BUCKET_BOUNDS = _log_spaced_bounds()
 class Counter:
     """A monotonically increasing, thread-safe numeric total."""
 
-    __slots__ = ("name", "_lock", "_value")
+    __slots__ = ("name", "_lock", "_value", "_touched")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._lock = threading.Lock()
         self._value = 0.0
+        self._touched = False
 
     def add(self, amount: float = 1.0) -> None:
         """Increase the counter (negative amounts are rejected)."""
@@ -83,38 +84,48 @@ class Counter:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         with self._lock:
             self._value += amount
+            self._touched = True
 
     @property
     def value(self) -> float:
         """The accumulated total."""
         return self._value
 
+    @property
+    def touched(self) -> bool:
+        """Whether the counter was written since creation/last reset."""
+        return self._touched
+
     def reset(self) -> None:
         """Zero the counter (test/run-boundary hook)."""
         with self._lock:
             self._value = 0.0
+            self._touched = False
 
 
 class Gauge:
     """A thread-safe last-value-wins instrument."""
 
-    __slots__ = ("name", "_lock", "_value")
+    __slots__ = ("name", "_lock", "_value", "_touched")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._lock = threading.Lock()
         self._value = 0.0
+        self._touched = False
 
     def set(self, value: float) -> None:
         """Record the current level."""
         with self._lock:
             self._value = float(value)
+            self._touched = True
 
     def adjust(self, delta: float) -> float:
         """Shift the level by ``delta`` (e.g. in-flight task tracking);
         returns the new level."""
         with self._lock:
             self._value += float(delta)
+            self._touched = True
             return self._value
 
     @property
@@ -122,10 +133,16 @@ class Gauge:
         """The most recently recorded level."""
         return self._value
 
+    @property
+    def touched(self) -> bool:
+        """Whether the gauge was written since creation/last reset."""
+        return self._touched
+
     def reset(self) -> None:
         """Zero the gauge (test/run-boundary hook)."""
         with self._lock:
             self._value = 0.0
+            self._touched = False
 
 
 class Histogram:
@@ -298,13 +315,43 @@ class MetricsRegistry:
                 instrument = self._histograms[name] = Histogram(name)
             return instrument
 
-    def snapshot(self) -> dict:
-        """All instruments as a sorted, JSON-serializable dict."""
+    def snapshot(
+        self, prefix: Optional[Union[str, Tuple[str, ...]]] = None
+    ) -> dict:
+        """All instruments as a sorted, JSON-serializable dict.
+
+        ``prefix`` (a name prefix or tuple of them) restricts the
+        snapshot to matching instruments — the live ``/status``
+        endpoint uses this to report only the sweep-relevant series.
+
+        Instruments never written since creation or the last
+        :meth:`reset` are omitted: handles survive a reset (see the
+        class docstrings), so without this filter every name ever
+        registered would haunt later snapshots as a zero-valued
+        series — and two stale names can even sanitize to the same
+        OpenMetrics family and render an invalid exposition.
+        """
+        if prefix is not None and not isinstance(prefix, tuple):
+            prefix = (prefix,)
+
+        def keep(name: str) -> bool:
+            return prefix is None or name.startswith(prefix)
+
         with self._lock:
-            counters = {n: c.value for n, c in sorted(self._counters.items())}
-            gauges = {n: g.value for n, g in sorted(self._gauges.items())}
+            counters = {
+                n: c.value
+                for n, c in sorted(self._counters.items())
+                if keep(n) and c.touched
+            }
+            gauges = {
+                n: g.value
+                for n, g in sorted(self._gauges.items())
+                if keep(n) and g.touched
+            }
             histograms = {
-                n: h.summary() for n, h in sorted(self._histograms.items())
+                n: h.summary()
+                for n, h in sorted(self._histograms.items())
+                if keep(n) and h.count > 0
             }
         return {
             "counters": counters,
@@ -375,9 +422,9 @@ def observe(name: str, value: float) -> None:
     _REGISTRY.histogram(name).observe(value)
 
 
-def snapshot() -> dict:
-    """Snapshot of the process registry."""
-    return _REGISTRY.snapshot()
+def snapshot(prefix: Optional[Union[str, Tuple[str, ...]]] = None) -> dict:
+    """Snapshot of the process registry (optionally prefix-filtered)."""
+    return _REGISTRY.snapshot(prefix=prefix)
 
 
 def reset() -> None:

@@ -24,6 +24,12 @@ Mapping:
   gauges and a ``repro_stage_calls`` counter family, plus
   ``repro_run_info`` identifying command and version.
 
+Families whose names carry a recognised unit suffix (``_seconds``,
+``_bytes`` — e.g. the trace cache's spill-tier gauge
+``repro_trace_cache_spilled_bytes``) additionally get a ``# UNIT``
+metadata line, as the OpenMetrics spec requires the unit to match the
+family-name suffix.
+
 :func:`parse_openmetrics` is a strict reader of the same grammar —
 metric-name charset, label escaping, family/sample suffix consistency,
 cumulative bucket monotonicity, the ``le="+Inf"``/``_count`` invariant
@@ -70,6 +76,28 @@ _TYPE_SUFFIXES = {
     "summary": ("", "_sum", "_count"),
 }
 
+#: Units recognised from a family-name suffix.  OpenMetrics requires a
+#: family with a ``# UNIT`` to be named ``<...>_<unit>``, so the unit
+#: is derivable from (and validated against) the name itself.
+_KNOWN_UNITS = ("seconds", "bytes")
+
+
+def _unit_for(family: str) -> Optional[str]:
+    """The declarable unit of a family, from its name suffix."""
+    for unit in _KNOWN_UNITS:
+        if family.endswith("_" + unit):
+            return unit
+    return None
+
+
+def _metadata_lines(family: str, family_type: str) -> List[str]:
+    """``# TYPE`` (and ``# UNIT`` when the name carries one) lines."""
+    lines = [f"# TYPE {family} {family_type}"]
+    unit = _unit_for(family)
+    if unit is not None:
+        lines.append(f"# UNIT {family} {unit}")
+    return lines
+
 
 def sanitize_name(name: str) -> str:
     """A metric name mapped onto the exposition-format charset."""
@@ -106,7 +134,7 @@ def _labels(**labels: object) -> str:
 def _histogram_lines(name: str, stats: dict) -> List[str]:
     count = int(stats.get("count", 0))
     total = float(stats.get("sum", 0.0))
-    lines = [f"# TYPE {name} histogram"]
+    lines = _metadata_lines(name, "histogram")
     cumulative = 0
     for bound, bucket_count in stats.get("buckets", []):
         if bound is None:  # overflow; folded into the +Inf bucket below
@@ -140,24 +168,28 @@ def render_openmetrics(
     lines: List[str] = []
     for name, value in snapshot.get("counters", {}).items():
         family = sanitize_name(name)
-        lines.append(f"# TYPE {family} counter")
+        lines.extend(_metadata_lines(family, "counter"))
         lines.append(f"{family}_total {_fmt(value)}")
     for name, value in snapshot.get("gauges", {}).items():
         family = sanitize_name(name)
-        lines.append(f"# TYPE {family} gauge")
+        lines.extend(_metadata_lines(family, "gauge"))
         lines.append(f"{family} {_fmt(value)}")
     for name, stats in snapshot.get("histograms", {}).items():
         lines.extend(_histogram_lines(sanitize_name(name), stats))
     if manifest is not None:
         stages = manifest.get("stages", {})
         if stages:
-            lines.append(f"# TYPE {PREFIX}stage_wall_seconds gauge")
+            lines.extend(
+                _metadata_lines(f"{PREFIX}stage_wall_seconds", "gauge")
+            )
             for stage, entry in stages.items():
                 lines.append(
                     f"{PREFIX}stage_wall_seconds"
                     f"{_labels(stage=stage)} {_fmt(entry['wall_s'])}"
                 )
-            lines.append(f"# TYPE {PREFIX}stage_cpu_seconds gauge")
+            lines.extend(
+                _metadata_lines(f"{PREFIX}stage_cpu_seconds", "gauge")
+            )
             for stage, entry in stages.items():
                 lines.append(
                     f"{PREFIX}stage_cpu_seconds"
@@ -169,7 +201,7 @@ def render_openmetrics(
                     f"{PREFIX}stage_calls_total"
                     f"{_labels(stage=stage)} {_fmt(entry['calls'])}"
                 )
-        lines.append(f"# TYPE {PREFIX}run_elapsed_seconds gauge")
+        lines.extend(_metadata_lines(f"{PREFIX}run_elapsed_seconds", "gauge"))
         lines.append(
             f"{PREFIX}run_elapsed_seconds "
             f"{_fmt(manifest.get('elapsed_s', 0.0))}"
@@ -264,6 +296,29 @@ def parse_openmetrics(text: str) -> Dict[str, dict]:
                 )
             families[family] = {"type": family_type, "samples": []}
             order.append(family)
+            continue
+        if line.startswith("# UNIT "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(
+                    f"line {line_number}: malformed UNIT declaration"
+                )
+            _, _, family, unit = parts
+            if family not in families:
+                raise ValueError(
+                    f"line {line_number}: UNIT for undeclared family "
+                    f"{family!r}"
+                )
+            if "unit" in families[family]:
+                raise ValueError(
+                    f"line {line_number}: duplicate UNIT for {family!r}"
+                )
+            if not unit or not family.endswith("_" + unit):
+                raise ValueError(
+                    f"line {line_number}: family {family!r} must be "
+                    f"suffixed with its unit {unit!r}"
+                )
+            families[family]["unit"] = unit
             continue
         if line.startswith("# HELP "):
             continue

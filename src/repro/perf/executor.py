@@ -53,6 +53,7 @@ from concurrent.futures import (
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, ExecutionError
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import profiling as obs_profiling
 from repro.obs import trace as obs_trace
@@ -85,11 +86,12 @@ Pair = Tuple[WorkloadSpec, MachineConfig]
 # reassembled deterministically, the sweep's trace context (or None
 # while tracing is off), the submitting process's pid (lets a worker
 # tell process from thread dispatch even when tracing is off), the
-# resource profile mode for process workers, and the submit-time wall
-# clock for the queue-wait histogram.
+# resource profile mode for process workers, the live-telemetry queue
+# proxy (or None while the hub is off / backend is threaded), and the
+# submit-time wall clock for the queue-wait histogram.
 _ChunkPayload = Tuple[
     int, str, int, int, Optional[str], str, Optional[str], List[Pair],
-    Optional[TraceContext], int, str, Optional[float],
+    Optional[TraceContext], int, str, Optional[object], Optional[float],
 ]
 
 
@@ -203,6 +205,7 @@ def _profile_chunk(
         context,
         parent_pid,
         profile_mode,
+        telemetry,
         submitted_wall,
     ) = payload
     queue_wait = (
@@ -222,6 +225,10 @@ def _profile_chunk(
         if tracemalloc.is_tracing():
             tracemalloc.stop()
         obs_profiling.clear_inherited_session()
+        # Same hazard for the live hub: the inherited copy's monitor
+        # thread is dead and its subscribers lead nowhere.  Workers
+        # report through the telemetry queue only.
+        obs_live.clear_inherited_hub()
         if capturing:
             # The inherited state also includes the parent tracer's
             # enabled flag and accumulated roots; begin_remote_capture
@@ -250,6 +257,24 @@ def _profile_chunk(
         )
     else:
         opener = span("executor.chunk", chunk=chunk_index, pairs=len(pairs))
+    # Live telemetry: remote workers got a queue proxy in the payload;
+    # thread workers talk to the in-process hub directly.  Either way
+    # this is pure observation — nothing here touches the result path.
+    live = telemetry is not None or obs_live.hub_active()
+    counters_before: Optional[Dict[str, float]] = None
+    if live:
+        if telemetry is not None:
+            # A process worker's registry is private; snapshot it so
+            # chunk.done can ship the deltas back for the parent hub to
+            # fold in (keeps trace_cache.* series live in /metrics).
+            counters_before = obs_metrics.snapshot()["counters"]
+        obs_live.emit_worker_event(
+            telemetry,
+            "chunk.start",
+            chunk=chunk_index,
+            pairs=len(pairs),
+            rss_bytes=obs_live.current_rss_bytes(),
+        )
     outcomes: List[Tuple[str, object]] = []
     with opener:
         if _fused_batching(engine, trace_kernel, replay):
@@ -283,8 +308,20 @@ def _profile_chunk(
                         ("err", _pair_label(spec, config), worker_trace)
                         for config in configs
                     )
+                    if live:
+                        for config in configs:
+                            obs_live.emit_worker_event(
+                                telemetry, "pair.error", chunk=chunk_index,
+                                pair=_pair_label(spec, config),
+                            )
                 else:
                     outcomes.extend(("ok", report) for report in reports)
+                    if live:
+                        for config in configs:
+                            obs_live.emit_worker_event(
+                                telemetry, "pair.done", chunk=chunk_index,
+                                pair=_pair_label(spec, config),
+                            )
         else:
             for spec, config in pairs:
                 try:
@@ -308,8 +345,18 @@ def _profile_chunk(
                             traceback.format_exc(),
                         )
                     )
+                    if live:
+                        obs_live.emit_worker_event(
+                            telemetry, "pair.error", chunk=chunk_index,
+                            pair=_pair_label(spec, config),
+                        )
                 else:
                     outcomes.append(("ok", report))
+                    if live:
+                        obs_live.emit_worker_event(
+                            telemetry, "pair.done", chunk=chunk_index,
+                            pair=_pair_label(spec, config),
+                        )
     extras: dict = {
         "queue_wait_s": queue_wait,
         "spans": None,
@@ -320,6 +367,22 @@ def _profile_chunk(
         extras["profile"] = chunk_profiler.stop().to_dict()
     if capturing:
         extras["spans"] = obs_trace.end_remote_capture()
+    if live:
+        done_fields: dict = {
+            "chunk": chunk_index,
+            "pairs": len(pairs),
+            "rss_bytes": obs_live.current_rss_bytes(),
+        }
+        if counters_before is not None:
+            after = obs_metrics.snapshot()["counters"]
+            deltas = {
+                name: value - counters_before.get(name, 0.0)
+                for name, value in after.items()
+                if value - counters_before.get(name, 0.0) > 0.0
+            }
+            if deltas:
+                done_fields["counters"] = deltas
+        obs_live.emit_worker_event(telemetry, "chunk.done", **done_fields)
     return chunk_index, outcomes, extras
 
 
@@ -554,6 +617,16 @@ class ProfilingExecutor:
         )
         context = obs_trace.current_context()
         observed = context is not None or self.profile != "off"
+        hub = obs_live.active_hub()
+        # Process workers can't reach the parent hub; give them a
+        # manager-queue side-channel.  Created only while the hub is
+        # active, so hub-off sweeps never pay the manager process.
+        channel = (
+            obs_live.WorkerChannel(hub)
+            if hub is not None and self.backend == "process"
+            else None
+        )
+        telemetry = channel.queue if channel is not None else None
         payloads: List[_ChunkPayload] = [
             (
                 chunk_index,
@@ -567,6 +640,7 @@ class ProfilingExecutor:
                 context,
                 os.getpid(),
                 self.profile,
+                telemetry,
                 None,
             )
             for chunk_index, indices in enumerate(chunks)
@@ -584,6 +658,10 @@ class ProfilingExecutor:
                             payload = payload[:-1] + (time.perf_counter(),)
                         futures.append(pool.submit(_profile_chunk, payload))
                         obs_metrics.adjust_gauge("executor.pool.inflight", 1)
+                        if hub is not None:
+                            hub.chunk_submitted(
+                                payload[0], len(payload[7])
+                            )
                     self._collect(
                         chunks, futures, pending, positions, results,
                         ticker, sweep,
@@ -607,6 +685,8 @@ class ProfilingExecutor:
             ) from error
         finally:
             obs_metrics.set_gauge("executor.pool.inflight", 0)
+            if channel is not None:
+                channel.close()
 
     def _collect(
         self,
@@ -622,9 +702,12 @@ class ProfilingExecutor:
         # fills depends only on its input index, so completion order
         # affects wall time, never results.
         remote_spans: Dict[int, List[dict]] = {}
+        hub = obs_live.active_hub()
         for future in as_completed(futures):
             chunk_index, outcomes, extras = future.result()
             obs_metrics.adjust_gauge("executor.pool.inflight", -1)
+            if hub is not None:
+                hub.chunk_collected(chunk_index)
             if extras["queue_wait_s"] is not None:
                 if self.profile != "off":
                     # --profile without --obs: the gated helper would

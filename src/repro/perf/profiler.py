@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs.profiling import stage_probe
 from repro.obs.trace import span
@@ -349,6 +350,12 @@ class Profiler:
             replay=self.replay,
         )
         self.adopt(spec, config, report)
+        if obs_live.hub_active():
+            # Serial (non-pool) computations heartbeat too, so a
+            # jobs=1 sweep still shows per-pair liveness in /status.
+            obs_live.emit_worker_event(
+                None, "pair.done", pair=f"{spec.name}@{config.name}",
+            )
         return report
 
     def profile_many(

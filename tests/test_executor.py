@@ -135,7 +135,7 @@ class TestWorkerFailure:
         index, outcomes, extras = _profile_chunk(
             (
                 7, "trace", -1, 2017, "vector", "geometry", "independent",
-                [(spec, config)], None, os.getpid(), "off", None,
+                [(spec, config)], None, os.getpid(), "off", None, None,
             )
         )
         assert index == 7

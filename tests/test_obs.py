@@ -266,6 +266,31 @@ class TestMetrics:
         counter.add(1)
         assert obs.snapshot()["counters"]["test.reset"] == 1
 
+    def test_snapshot_omits_instruments_untouched_since_reset(self):
+        # Handles survive a reset, but names written only *before* the
+        # reset must not haunt later snapshots as zero-valued series
+        # (two stale names can even sanitize to one OpenMetrics family
+        # and render an invalid exposition).
+        obs_metrics.counter("test.zombie").add(3)
+        obs_metrics.gauge("test.zombie.gauge").set(7)
+        obs_metrics.histogram("test.zombie.hist").observe(0.5)
+        obs.metrics.reset()
+        obs_metrics.counter("test.alive").add(1)
+        snapshot = obs.snapshot()
+        assert "test.zombie" not in snapshot["counters"]
+        assert "test.zombie.gauge" not in snapshot["gauges"]
+        assert "test.zombie.hist" not in snapshot["histograms"]
+        assert snapshot["counters"] == {"test.alive": 1}
+
+    def test_snapshot_keeps_explicitly_written_zeros(self):
+        # A zero *written* after the reset is a real observation —
+        # only never-touched instruments are filtered.
+        obs_metrics.gauge("test.stalled").set(0)
+        obs_metrics.counter("test.zero").add(0)
+        snapshot = obs.snapshot()
+        assert snapshot["gauges"]["test.stalled"] == 0.0
+        assert snapshot["counters"]["test.zero"] == 0.0
+
 
 class TestProgress:
     def test_heartbeat_hook_receives_bounded_ticks(self):

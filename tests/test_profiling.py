@@ -235,6 +235,7 @@ class TestChunkWorkerProtocol:
         return (
             3, "analytic", 200_000, 2017, "vector", "geometry", None,
             [(spec, config)], context, parent_pid, profile_mode, None,
+            None,
         )
 
     def test_remote_chunk_ships_profile(self):
