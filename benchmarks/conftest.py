@@ -53,6 +53,19 @@ def run_once(benchmark):
             "spans": [root.to_dict() for root in roots],
             "metrics": snapshot,
         }
+        # Numeric extra_info present at record time (i.e. set *before*
+        # run_once) becomes ``bench.<key>`` counter series in the
+        # ledger manifest, so ``repro obs check`` baselines measured
+        # bench numbers (seconds, speedups) like any other counter.
+        measured = {
+            f"bench.{key}": float(value)
+            for key, value in benchmark.extra_info.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if measured:
+            counters = dict(snapshot.get("counters", {}))
+            counters.update(measured)
+            snapshot = dict(snapshot, counters=counters)
         manifest = obs.manifest.build_manifest(
             "bench", [benchmark.name], roots, snapshot
         )

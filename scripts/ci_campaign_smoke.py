@@ -1,0 +1,132 @@
+"""CI gate — campaign crash-resume byte-identity at 64-machine scale.
+
+Runs the same 64-machine x six-workload campaign twice:
+
+* **straight** — one uninterrupted run;
+* **killed-and-resumed** — the same campaign with an
+  :class:`~repro.errors.ExecutionError` injected mid-shard (the third
+  shard's executor sweep dies), then ``resume``d to completion.
+
+The gate passes only if the resumed campaign is **byte-identical** to
+the straight one: equal campaign digests (sha256 over every per-pair
+report digest in row order) and equal per-column sha256 checksums of
+the columnar store, with both stores passing :meth:`verify`.  The
+resumed run must also actually resume — the shards that checkpointed
+before the kill are skipped, not recomputed.
+
+Usage (from the repository root)::
+
+    python scripts/ci_campaign_smoke.py [output-dir]
+
+The output directory (default ``./campaign-smoke``) keeps both campaign
+directories for artifact upload.
+"""
+
+import os
+import shutil
+import sys
+from pathlib import Path
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.campaign import CampaignConfig, CampaignRunner, CampaignStore
+from repro.errors import ExecutionError
+
+WORKLOADS = (
+    "505.mcf_r",
+    "500.perlbench_r",
+    "525.x264_r",
+    "519.lbm_r",
+    "557.xz_r",
+    "502.gcc_r",
+)
+
+CONFIG = CampaignConfig(
+    machines=64,
+    workloads=WORKLOADS,
+    engine="trace",
+    trace_instructions=20_000,
+    shard_machines=16,
+)
+
+#: The shard whose executor sweep dies in the killed run (0-based call
+#: count; shards 0 and 1 checkpoint first, so resume must skip two).
+KILL_AT_CALL = 3
+
+
+def main() -> int:
+    """Run the gate; returns a process exit code."""
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else "campaign-smoke")
+    if root.exists():
+        shutil.rmtree(root)
+    root.mkdir(parents=True)
+
+    print(f"campaign-smoke: {CONFIG.machines} machines x "
+          f"{len(CONFIG.workloads)} workloads, {CONFIG.n_shards} shards")
+
+    straight = CampaignRunner(
+        root / "straight", config=CONFIG, jobs=2
+    ).run()
+    print(f"straight: digest {straight['digest'][:16]} "
+          f"({straight['shards']['computed']} shards computed)")
+
+    real = CampaignRunner._profile_shard
+    calls = {"count": 0}
+
+    def crashing(self, profiler, pairs):
+        calls["count"] += 1
+        if calls["count"] == KILL_AT_CALL:
+            raise ExecutionError("campaign-smoke: injected mid-shard kill")
+        return real(self, profiler, pairs)
+
+    CampaignRunner._profile_shard = crashing
+    try:
+        CampaignRunner(root / "resumed", config=CONFIG, jobs=2).run()
+    except ExecutionError as error:
+        print(f"killed:   {error}")
+    else:
+        print("FAIL: injected kill did not fire")
+        return 1
+    finally:
+        CampaignRunner._profile_shard = real
+
+    resumed = CampaignRunner(root / "resumed", jobs=2).run(resume=True)
+    print(f"resumed:  digest {resumed['digest'][:16]} "
+          f"({resumed['shards']['skipped']} shards skipped, "
+          f"{resumed['shards']['computed']} recomputed)")
+
+    failures = []
+    if resumed["shards"]["skipped"] != KILL_AT_CALL - 1:
+        failures.append(
+            f"resume recomputed checkpointed shards: expected "
+            f"{KILL_AT_CALL - 1} skipped, got {resumed['shards']['skipped']}"
+        )
+    if resumed["digest"] != straight["digest"]:
+        failures.append(
+            f"campaign digests diverged: straight {straight['digest']} "
+            f"vs resumed {resumed['digest']}"
+        )
+    if resumed["column_checksums"] != straight["column_checksums"]:
+        diverged = sorted(
+            metric
+            for metric in straight["column_checksums"]
+            if straight["column_checksums"][metric]
+            != resumed["column_checksums"].get(metric)
+        )
+        failures.append(f"column checksums diverged: {diverged}")
+    for label in ("straight", "resumed"):
+        damaged = CampaignStore.open(root / label / "store").verify()
+        if damaged:
+            failures.append(f"{label} store failed verify: {damaged}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("campaign-smoke: resumed store byte-identical to straight run "
+          f"({len(straight['column_checksums'])} columns verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Design-space campaigns: 1000×-scale sweeps around the paper machines.
+
+Three layers:
+
+:mod:`repro.campaign.generator`
+    Seeded, stratified, geometry-deduplicated sampling of machine
+    variants around the Table IV anchors.
+
+:mod:`repro.campaign.runner`
+    The stage DAG (generate → shards → fold) with shard-level
+    checkpointing and byte-identical resume.
+
+:mod:`repro.campaign.store`
+    The columnar on-disk result matrix (one memory-mapped ``.npy`` per
+    metric) that analysis reads incrementally.
+"""
+
+from repro.campaign.generator import (
+    generate_machines,
+    machines_digest,
+    structure_key,
+    variant_name,
+)
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignRunner,
+    Stage,
+    pair_digest,
+    resolve_stages,
+)
+from repro.campaign.store import CampaignStore, schema_checksum
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignRunner",
+    "CampaignStore",
+    "Stage",
+    "generate_machines",
+    "machines_digest",
+    "pair_digest",
+    "resolve_stages",
+    "schema_checksum",
+    "structure_key",
+    "variant_name",
+]

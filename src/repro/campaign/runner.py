@@ -1,0 +1,753 @@
+"""Campaign runner: sharded, resumable design-space sweeps.
+
+A *campaign* profiles a generated machine population
+(:mod:`repro.campaign.generator`) against a workload list and lands the
+counter matrix in the columnar store (:mod:`repro.campaign.store`).
+Execution is a declarative DAG of stages — ``generate`` → one
+``shard-NNNN`` per machine slice → ``fold`` — resolved by
+:func:`resolve_stages` (deterministic topological order, cycle
+detection), so the plan is inspectable before anything runs and new
+stage kinds slot in without touching the driver loop.
+
+Sharding & resume
+-----------------
+
+Machines are partitioned into fixed slices of ``shard_machines``.  Each
+completed shard checkpoints a content-checksummed manifest
+(``shards/shard-NNNN.json``) carrying its *shard key* — a digest over
+exactly the ingredients of the profiler's disk-cache key (engine
+parameters, code version, workload and machine content fingerprints)
+plus the target row range — and the per-pair report digests of its
+results.  ``resume`` skips every shard whose manifest checksum and
+shard key still match, so a killed 1000-machine campaign restarts in
+seconds: surviving shards are never recomputed and the rows they wrote
+into the preallocated store are untouched, which is what makes the
+resumed store **byte-identical** (per-column checksums) to an
+uninterrupted run.  Completed shards are also appended to the
+run-history ledger (:mod:`repro.obs.history`) when ledger recording is
+on, so campaign progress is longitudinal like every other run.
+
+Scheduling for fused replay
+---------------------------
+
+Within a shard, pairs are laid out workload-major with machines sorted
+by :func:`~repro.campaign.generator.structure_key` — the executor's
+:func:`~repro.perf.executor.workload_chunks` then keeps same-workload
+pairs adjacent, and the structure sort lands same-geometry machines in
+the same chunks, so each fused batch shares its set-partition and
+per-level replay passes across hundreds of machines.  The dispatch
+order is a pure permutation: results are reassembled into canonical
+machine-major rows before they touch the store, so scheduling can never
+change a byte of output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.campaign.generator import (
+    generate_machines,
+    machines_digest,
+    structure_key,
+)
+from repro.campaign.store import CampaignStore, schema_checksum
+from repro.obs import history as obs_history
+from repro.obs import manifest as obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs.manifest import atomic_write_text
+from repro.obs.progress import progress as obs_progress
+from repro.obs.trace import span
+from repro.perf.counters import SIMILARITY_METRICS, CounterReport
+from repro.perf.diskcache import (
+    canonical_encoding,
+    code_version,
+    content_fingerprint,
+)
+from repro.perf.executor import ProfilingExecutor
+from repro.perf.profiler import Profiler
+from repro.stats.kmeans import kmeans
+from repro.stats.pca import fit_pca
+from repro.uarch.machine import PAPER_MACHINE_NAMES, MachineConfig
+from repro.workloads.spec import WorkloadSpec, get_workload
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignRunner",
+    "Stage",
+    "resolve_stages",
+    "pair_digest",
+]
+
+_CAMPAIGN_SCHEMA = "repro.campaign/1"
+_SHARD_SCHEMA = "repro.campaign.shard/1"
+_CAMPAIGN_FILE = "campaign.json"
+_SHARD_DIR = "shards"
+_STORE_DIR = "store"
+_ANALYSIS_FILE = "analysis.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign's *results*.
+
+    Execution knobs (jobs, backend, chunk size) live on the runner, not
+    here: they change wall time, never bytes, so a campaign may be
+    resumed under a different worker count and still verify.
+    """
+
+    machines: int
+    workloads: Tuple[str, ...]
+    seed: int = 2017
+    engine: str = "trace"
+    trace_instructions: int = 200_000
+    shard_machines: int = 64
+    anchors: Tuple[str, ...] = PAPER_MACHINE_NAMES
+    clusters: int = 7
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise ConfigurationError("machines must be >= 1")
+        if not self.workloads:
+            raise ConfigurationError("workloads must be non-empty")
+        if self.engine not in ("analytic", "trace"):
+            raise ConfigurationError(f"unknown engine {self.engine!r}")
+        if self.shard_machines < 1:
+            raise ConfigurationError("shard_machines must be >= 1")
+        if self.clusters < 1:
+            raise ConfigurationError("clusters must be >= 1")
+
+    @property
+    def n_shards(self) -> int:
+        return -(-self.machines // self.shard_machines)
+
+    def fingerprint(self) -> str:
+        """Content digest of the config (the campaign's identity)."""
+        return content_fingerprint(self)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, inverse of :meth:`from_dict`."""
+        return {
+            "machines": self.machines,
+            "workloads": list(self.workloads),
+            "seed": self.seed,
+            "engine": self.engine,
+            "trace_instructions": self.trace_instructions,
+            "shard_machines": self.shard_machines,
+            "anchors": list(self.anchors),
+            "clusters": self.clusters,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "CampaignConfig":
+        """Rebuild a config from its :meth:`to_dict` form."""
+        return cls(
+            machines=int(document["machines"]),
+            workloads=tuple(document["workloads"]),
+            seed=int(document["seed"]),
+            engine=document["engine"],
+            trace_instructions=int(document["trace_instructions"]),
+            shard_machines=int(document["shard_machines"]),
+            anchors=tuple(document["anchors"]),
+            clusters=int(document["clusters"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Stage:
+    """One node of the campaign DAG."""
+
+    name: str
+    deps: Tuple[str, ...] = ()
+
+
+def resolve_stages(stages: Sequence[Stage]) -> List[Stage]:
+    """Deterministic topological order (declaration order breaks ties).
+
+    Kahn's algorithm over the declared list: among ready stages the
+    earliest-declared runs first, so the plan is stable run to run.
+    Unknown dependencies and cycles raise :class:`ConfigurationError`.
+    """
+    by_name = {stage.name: stage for stage in stages}
+    if len(by_name) != len(stages):
+        raise ConfigurationError("duplicate stage names in campaign DAG")
+    for stage in stages:
+        for dep in stage.deps:
+            if dep not in by_name:
+                raise ConfigurationError(
+                    f"stage {stage.name!r} depends on unknown {dep!r}"
+                )
+    done: set = set()
+    ordered: List[Stage] = []
+    remaining = list(stages)
+    while remaining:
+        ready = [
+            stage
+            for stage in remaining
+            if all(dep in done for dep in stage.deps)
+        ]
+        if not ready:
+            names = ", ".join(stage.name for stage in remaining)
+            raise ConfigurationError(f"campaign DAG has a cycle among: {names}")
+        stage = ready[0]
+        remaining.remove(stage)
+        done.add(stage.name)
+        ordered.append(stage)
+    return ordered
+
+
+def pair_digest(report: CounterReport) -> str:
+    """Content digest of one profile result (the bit-identity unit)."""
+    encoded = json.dumps(
+        canonical_encoding(report), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def _checksummed(document: dict) -> dict:
+    document = dict(document)
+    document.pop("checksum", None)
+    document["checksum"] = schema_checksum(document)
+    return document
+
+
+def _load_checksummed(path: Path, schema: str) -> Optional[dict]:
+    """Load a checksummed JSON doc; ``None`` on absence or damage."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict) or document.get("schema") != schema:
+        return None
+    if document.get("checksum") != schema_checksum(document):
+        return None
+    return document
+
+
+class CampaignRunner:
+    """Drives one campaign directory through the stage DAG.
+
+    Parameters
+    ----------
+    directory:
+        The campaign directory (created on first run): ``campaign.json``
+        + ``store/`` + ``shards/`` + ``analysis.json``.
+    config:
+        The campaign definition.  Omit it to adopt the one recorded in
+        ``campaign.json`` (the ``resume``/``status``/``fold`` paths).
+    profiler:
+        Optional pre-built profiler (the CLI threads its cache flags
+        through one); must agree with the config's engine parameters.
+        Built from the config when omitted.
+    jobs / backend / chunk_size / profile:
+        Executor knobs, exactly as on
+        :class:`~repro.perf.executor.ProfilingExecutor`.
+    ledger:
+        When true, every completed shard is appended to the run-history
+        ledger (``ledger_dir`` or the default obs dir) as a
+        ``campaign-shard`` run.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        config: Optional[CampaignConfig] = None,
+        profiler: Optional[Profiler] = None,
+        jobs: int = 1,
+        backend: str = "thread",
+        chunk_size: Optional[int] = None,
+        profile: str = "off",
+        ledger: bool = False,
+        ledger_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.config = config
+        self._profiler = profiler
+        self.jobs = jobs
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.profile = profile
+        self.ledger = ledger
+        self.ledger_dir = ledger_dir
+
+    # ------------------------------------------------------------------
+    # configuration / layout
+    # ------------------------------------------------------------------
+
+    @property
+    def store_dir(self) -> Path:
+        return self.directory / _STORE_DIR
+
+    def _shard_path(self, index: int) -> Path:
+        return self.directory / _SHARD_DIR / f"shard-{index:04d}.json"
+
+    def load_config(self) -> CampaignConfig:
+        """The config recorded in ``campaign.json`` (validated)."""
+        document = _load_checksummed(
+            self.directory / _CAMPAIGN_FILE, _CAMPAIGN_SCHEMA
+        )
+        if document is None:
+            raise ConfigurationError(
+                f"no campaign at {self.directory} "
+                f"(missing or corrupt {_CAMPAIGN_FILE})"
+            )
+        return CampaignConfig.from_dict(document["config"])
+
+    def _resolve_config(self, resume: bool) -> CampaignConfig:
+        recorded = (self.directory / _CAMPAIGN_FILE).is_file()
+        if not resume:
+            if recorded:
+                raise ConfigurationError(
+                    f"campaign already exists at {self.directory}; "
+                    "use resume to continue it"
+                )
+            if self.config is None:
+                raise ConfigurationError("a fresh campaign needs a config")
+            return self.config
+        if not recorded:
+            # Resuming a campaign that died before campaign.json landed
+            # degrades to a fresh run (nothing was checkpointed yet).
+            if self.config is None:
+                raise ConfigurationError(
+                    f"nothing to resume at {self.directory}"
+                )
+            return self.config
+        loaded = self.load_config()
+        if self.config is not None and (
+            self.config.fingerprint() != loaded.fingerprint()
+        ):
+            raise ConfigurationError(
+                "resume config disagrees with the recorded campaign "
+                f"at {self.directory}"
+            )
+        return loaded
+
+    def _make_profiler(self, config: CampaignConfig) -> Profiler:
+        if self._profiler is None:
+            self._profiler = Profiler(
+                engine=config.engine,
+                trace_instructions=config.trace_instructions,
+                seed=config.seed,
+            )
+        profiler = self._profiler
+        if (
+            profiler.engine != config.engine
+            or profiler.trace_instructions != config.trace_instructions
+            or profiler.seed != config.seed
+        ):
+            raise ConfigurationError(
+                "profiler engine parameters disagree with the campaign "
+                "config (engine/instructions/seed must match)"
+            )
+        return profiler
+
+    # ------------------------------------------------------------------
+    # the DAG
+    # ------------------------------------------------------------------
+
+    def plan(self, config: Optional[CampaignConfig] = None) -> List[Stage]:
+        """The campaign DAG in execution order."""
+        config = config or self.config or self.load_config()
+        shard_names = [
+            f"shard-{index:04d}" for index in range(config.n_shards)
+        ]
+        stages = [Stage("generate")]
+        stages.extend(Stage(name, ("generate",)) for name in shard_names)
+        stages.append(Stage("fold", tuple(shard_names)))
+        return resolve_stages(stages)
+
+    def run(self, resume: bool = False) -> dict:
+        """Execute every stage; returns the campaign summary."""
+        config = self._resolve_config(resume)
+        profiler = self._make_profiler(config)
+        with span(
+            "campaign.run",
+            machines=config.machines,
+            workloads=len(config.workloads),
+            shards=config.n_shards,
+            resume=resume,
+        ):
+            stages = self.plan(config)
+            specs = [get_workload(name) for name in config.workloads]
+            machines: List[MachineConfig] = []
+            store: Optional[CampaignStore] = None
+            completed = 0
+            skipped = 0
+            ticker = obs_progress("campaign.shards", total=config.n_shards)
+            for stage in stages:
+                if stage.name == "generate":
+                    machines, store = self._run_generate(config, specs)
+                elif stage.name.startswith("shard-"):
+                    index = int(stage.name.split("-", 1)[1])
+                    assert store is not None
+                    ran = self._run_shard(
+                        config, profiler, specs, machines, store, index
+                    )
+                    completed += 1 if ran else 0
+                    skipped += 0 if ran else 1
+                    ticker.advance()
+                elif stage.name == "fold":
+                    analysis = self._run_fold(config)
+                else:  # pragma: no cover - plan() only emits the above
+                    raise ConfigurationError(f"unknown stage {stage.name!r}")
+            ticker.close()
+            assert store is not None
+            checksums = store.seal()
+        summary = {
+            "directory": str(self.directory),
+            "machines": config.machines,
+            "workloads": list(config.workloads),
+            "shards": {
+                "total": config.n_shards,
+                "computed": completed,
+                "skipped": skipped,
+            },
+            "rows": store.rows,
+            "digest": self.campaign_digest(),
+            "store_digest": store.digest(),
+            "column_checksums": checksums,
+            "analysis": analysis,
+        }
+        return summary
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+
+    def _run_generate(
+        self, config: CampaignConfig, specs: Sequence[WorkloadSpec]
+    ) -> Tuple[List[MachineConfig], CampaignStore]:
+        with span("campaign.generate", machines=config.machines):
+            machines = generate_machines(
+                config.machines, seed=config.seed, anchors=config.anchors
+            )
+            self.directory.mkdir(parents=True, exist_ok=True)
+            (self.directory / _SHARD_DIR).mkdir(exist_ok=True)
+            if (self.store_dir / "schema.json").is_file():
+                store = CampaignStore.open(self.store_dir)
+                if store.machines != [m.name for m in machines] or (
+                    store.workloads != [s.name for s in specs]
+                ):
+                    raise ConfigurationError(
+                        "existing store disagrees with the campaign "
+                        "population; refusing to overwrite"
+                    )
+            else:
+                store = CampaignStore.create(
+                    self.store_dir,
+                    [m.name for m in machines],
+                    [s.name for s in specs],
+                    [metric.value for metric in SIMILARITY_METRICS],
+                    extra={
+                        "campaign": config.fingerprint(),
+                        "machines_digest": machines_digest(machines),
+                    },
+                )
+            document = _checksummed(
+                {
+                    "schema": _CAMPAIGN_SCHEMA,
+                    "config": config.to_dict(),
+                    "fingerprint": config.fingerprint(),
+                    "machines_digest": machines_digest(machines),
+                    "shards": config.n_shards,
+                }
+            )
+            atomic_write_text(
+                self.directory / _CAMPAIGN_FILE,
+                json.dumps(document, indent=2, sort_keys=True) + "\n",
+            )
+            obs_metrics.incr("campaign.machines.generated", len(machines))
+        return machines, store
+
+    def _shard_slice(
+        self, config: CampaignConfig, index: int
+    ) -> Tuple[int, int]:
+        start = index * config.shard_machines
+        return start, min(start + config.shard_machines, config.machines)
+
+    def _shard_key(
+        self,
+        config: CampaignConfig,
+        profiler: Profiler,
+        specs: Sequence[WorkloadSpec],
+        shard_machines: Sequence[MachineConfig],
+        row_start: int,
+    ) -> str:
+        """Digest over the shard's disk-cache key ingredients.
+
+        Exactly what :func:`repro.perf.diskcache.cache_key` hashes per
+        pair — engine parameters, code version, spec and machine
+        content — plus the target row range, computed once per shard
+        instead of once per pair.  A resumed campaign recomputes a
+        shard iff any of these changed, which is precisely when its
+        disk-cache entries would also miss.
+        """
+        body = {
+            "schema": _SHARD_SCHEMA,
+            "campaign": config.fingerprint(),
+            "code": code_version(),
+            "engine": profiler.engine,
+            "instructions": profiler.trace_instructions,
+            "seed": profiler.seed,
+            "kernel": profiler.trace_kernel,
+            "scope": profiler.seed_scope,
+            "replay": profiler.replay,
+            "metrics": [metric.value for metric in SIMILARITY_METRICS],
+            "workloads": [content_fingerprint(spec) for spec in specs],
+            "machines": [
+                content_fingerprint(machine) for machine in shard_machines
+            ],
+            "row_start": row_start,
+        }
+        encoded = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode()).hexdigest()
+
+    def _shard_manifest(self, index: int) -> Optional[dict]:
+        return _load_checksummed(self._shard_path(index), _SHARD_SCHEMA)
+
+    def _run_shard(
+        self,
+        config: CampaignConfig,
+        profiler: Profiler,
+        specs: Sequence[WorkloadSpec],
+        machines: Sequence[MachineConfig],
+        store: CampaignStore,
+        index: int,
+    ) -> bool:
+        """Profile one machine slice; returns False when checkpointed.
+
+        The shard is skipped iff its manifest is intact *and* its shard
+        key still matches — any config, code or population drift forces
+        a recompute (whose disk-cache entries would miss anyway).
+        """
+        start, stop = self._shard_slice(config, index)
+        slice_machines = list(machines[start:stop])
+        n_workloads = len(specs)
+        row_start = start * n_workloads
+        key = self._shard_key(config, profiler, specs, slice_machines, row_start)
+        manifest = self._shard_manifest(index)
+        if manifest is not None and manifest.get("key") == key:
+            obs_metrics.incr("campaign.shards.skipped")
+            return False
+        with span(
+            "campaign.shard", shard=index, machines=len(slice_machines)
+        ):
+            started = time.perf_counter()
+            # Structure-sorted, workload-major dispatch: maximal fused
+            # batch sharing (see module docstring).  ``order`` is the
+            # permutation back to canonical machine order.
+            order = sorted(
+                range(len(slice_machines)),
+                key=lambda i: structure_key(slice_machines[i]),
+            )
+            pairs = [
+                (spec, slice_machines[position])
+                for spec in specs
+                for position in order
+            ]
+            reports = self._profile_shard(profiler, pairs)
+            elapsed = time.perf_counter() - started
+            # Reassemble into canonical machine-major rows.
+            values = np.empty(
+                (len(slice_machines) * n_workloads, len(SIMILARITY_METRICS))
+            )
+            digests: List[str] = [""] * (len(slice_machines) * n_workloads)
+            for w_index in range(n_workloads):
+                for position, local in enumerate(order):
+                    report = reports[w_index * len(slice_machines) + position]
+                    row = local * n_workloads + w_index
+                    values[row, :] = [
+                        report.metrics[metric]
+                        for metric in SIMILARITY_METRICS
+                    ]
+                    digests[row] = pair_digest(report)
+            store.write_rows(row_start, values)
+            self._checkpoint_shard(
+                config, index, key, slice_machines, digests, elapsed
+            )
+            obs_metrics.incr("campaign.shards.completed")
+            obs_metrics.incr("campaign.pairs.profiled", len(pairs))
+        return True
+
+    def _profile_shard(
+        self, profiler: Profiler, pairs: Sequence[Tuple[WorkloadSpec, MachineConfig]]
+    ) -> List[CounterReport]:
+        """One executor sweep over a shard's pairs (crash-test seam)."""
+        executor = ProfilingExecutor(
+            profiler,
+            jobs=self.jobs,
+            backend=self.backend,
+            chunk_size=self.chunk_size,
+            profile=self.profile,
+        )
+        return executor.run(pairs, progress_label="campaign.pairs")
+
+    def _checkpoint_shard(
+        self,
+        config: CampaignConfig,
+        index: int,
+        key: str,
+        slice_machines: Sequence[MachineConfig],
+        digests: List[str],
+        elapsed: float,
+    ) -> None:
+        pairs_digest = hashlib.sha256(
+            "".join(digests).encode()
+        ).hexdigest()
+        document = _checksummed(
+            {
+                "schema": _SHARD_SCHEMA,
+                "shard": index,
+                "machines": [m.name for m in slice_machines],
+                "rows": len(digests),
+                "key": key,
+                "pair_digests": digests,
+                "pairs_digest": pairs_digest,
+                "elapsed_s": elapsed,
+            }
+        )
+        atomic_write_text(
+            self._shard_path(index),
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+        )
+        if self.ledger:
+            snapshot = {
+                "counters": {
+                    "campaign.shard.pairs": float(len(digests)),
+                    "campaign.shard.seconds": elapsed,
+                }
+            }
+            manifest = obs_manifest.build_manifest(
+                "campaign-shard",
+                [self.directory.name, f"shard-{index:04d}"],
+                [],
+                snapshot,
+                shard_key=key[:16],
+                pairs_digest=pairs_digest,
+            )
+            obs_history.record_run(manifest, directory=self.ledger_dir)
+
+    def _run_fold(self, config: CampaignConfig) -> dict:
+        """Fold landed shards into the machine-space analysis."""
+        with span("campaign.fold"):
+            analysis = self.fold()
+        return analysis
+
+    # ------------------------------------------------------------------
+    # fold / status / digests
+    # ------------------------------------------------------------------
+
+    def fold(self) -> dict:
+        """PCA + k-means over every machine whose rows have landed.
+
+        Reads the store incrementally (per-machine mmap blocks), so a
+        mid-campaign fold analyzes the shards that finished without
+        touching the rest of the matrix.
+        """
+        config = self.config or self.load_config()
+        store = CampaignStore.open(self.store_dir)
+        landed_mask = ~np.isnan(np.asarray(store.column(store.metrics[0])))
+        n_workloads = len(store.workloads)
+        complete = [
+            machine_index
+            for machine_index in range(len(store.machines))
+            if landed_mask[
+                machine_index * n_workloads:(machine_index + 1) * n_workloads
+            ].all()
+        ]
+        if len(complete) < 2:
+            raise ConfigurationError(
+                "fold needs at least two completed machines "
+                f"({len(complete)} landed)"
+            )
+        features = np.stack(
+            [store.machine_block(index).ravel() for index in complete]
+        )
+        labels = tuple(
+            f"{workload}:{metric}"
+            for workload in store.workloads
+            for metric in store.metrics
+        )
+        names = [store.machines[index] for index in complete]
+        pca = fit_pca(features, feature_labels=labels)
+        k = min(config.clusters, len(complete))
+        scores = pca.retained_scores()
+        clustering = kmeans(scores, k, seed=config.seed)
+        analysis = {
+            "machines_analyzed": len(complete),
+            "machines_total": len(store.machines),
+            "features": len(labels),
+            "kaiser_components": pca.kaiser_components,
+            "cumulative_variance": pca.cumulative_variance(),
+            "clusters": clustering.clusters(names),
+            "representatives": clustering.representatives(scores, names),
+            "inertia": clustering.inertia,
+        }
+        atomic_write_text(
+            self.directory / _ANALYSIS_FILE,
+            json.dumps(analysis, indent=2, sort_keys=True) + "\n",
+        )
+        obs_metrics.incr("campaign.folds")
+        return analysis
+
+    def campaign_digest(self) -> Optional[str]:
+        """Digest over every shard's per-pair digests, in row order.
+
+        ``None`` until every shard has checkpointed.  Because rows are
+        canonical machine-major, this equals a digest over the naive
+        per-pair loop's reports in the same order — the benchmark's
+        bit-identity gate.
+        """
+        config = self.config or self.load_config()
+        digest = hashlib.sha256()
+        for index in range(config.n_shards):
+            manifest = self._shard_manifest(index)
+            if manifest is None:
+                return None
+            for item in manifest["pair_digests"]:
+                digest.update(item.encode())
+        return digest.hexdigest()
+
+    def status(self) -> dict:
+        """Checkpoint inventory: what landed, what remains."""
+        config = self.config or self.load_config()
+        done = []
+        pairs_done = 0
+        for index in range(config.n_shards):
+            manifest = self._shard_manifest(index)
+            if manifest is not None:
+                done.append(index)
+                pairs_done += int(manifest["rows"])
+        sealed = False
+        landed = 0
+        if (self.store_dir / "schema.json").is_file():
+            store = CampaignStore.open(self.store_dir)
+            landed = store.landed_rows()
+            sealed = bool(store.checksums)
+        total_rows = config.machines * len(config.workloads)
+        return {
+            "directory": str(self.directory),
+            "machines": config.machines,
+            "workloads": list(config.workloads),
+            "shards": {
+                "total": config.n_shards,
+                "done": len(done),
+                "pending": [
+                    index
+                    for index in range(config.n_shards)
+                    if index not in done
+                ],
+            },
+            "rows": {"total": total_rows, "checkpointed": pairs_done,
+                     "landed": landed},
+            "sealed": sealed,
+            "digest": self.campaign_digest(),
+            "analyzed": (self.directory / _ANALYSIS_FILE).is_file(),
+        }

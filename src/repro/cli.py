@@ -20,6 +20,10 @@ Exposes the paper's analyses as ``repro`` subcommands::
     repro obs flame --out flame.html    # flamegraph of a --profile run
     repro obs top -n 10                 # hottest spans and frames
     repro obs serve --port 8000         # HTTP telemetry of the latest run
+    repro campaign run camp/ --machines 1000 --jobs 8
+    repro campaign resume camp/ --jobs 8
+    repro campaign status camp/
+    repro campaign fold camp/
 
 Every subcommand accepts ``--obs {off,summary,json}``,
 ``--trace-out FILE`` (Chrome-trace export), ``--metrics-out FILE``
@@ -49,6 +53,13 @@ independent per-pair replay; ``$REPRO_REPLAY`` supplies the default)
 root) and ``--serve-port N`` (live telemetry over HTTP while the
 sweep runs: ``/metrics``, ``/status``, ``/events``, ``/healthz``;
 ``repro obs serve`` serves the latest recorded run after the fact).
+
+``repro campaign`` drives design-space sweeps: ``run`` generates a
+seeded machine population around the paper anchors and profiles it in
+checkpointed shards into a columnar store, ``resume`` continues an
+interrupted campaign skipping completed shards (byte-identical to an
+uninterrupted run), ``status`` inventories the checkpoints, ``fold``
+re-runs the PCA/k-means analysis over the landed shards.
 """
 
 from __future__ import annotations
@@ -77,6 +88,17 @@ SUITE_ALIASES = {
 #: The four CPU2017 sub-suites that have Table V subsets, spelled out
 #: explicitly (deriving them by slicing sorted aliases was fragile).
 SPEC2017_SUBSUITE_ALIASES = ("rate-int", "rate-fp", "speed-int", "speed-fp")
+
+#: Default campaign workload mix: the fused-replay benchmark's six
+#: workloads, spanning the memory/branch/compute behaviour spectrum.
+CAMPAIGN_WORKLOADS = (
+    "505.mcf_r",
+    "500.perlbench_r",
+    "525.x264_r",
+    "519.lbm_r",
+    "557.xz_r",
+    "502.gcc_r",
+)
 
 _OBS_MODES = ("off", "summary", "json")
 
@@ -293,6 +315,78 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("--suite", choices=sorted(SUITE_ALIASES),
                                default="rate-int")
     export_parser.add_argument("--out", required=True)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="design-space campaigns: run, resume, status, fold",
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def add_campaign_parser(name: str, parallel: bool = False, **kwargs):
+        parents = exec_options if parallel else obs_options
+        verb = campaign_sub.add_parser(name, parents=parents, **kwargs)
+        verb.add_argument("directory", help="campaign directory")
+        verb.add_argument(
+            "--json", action="store_true", help="emit JSON for scripting"
+        )
+        return verb
+
+    campaign_run_parser = add_campaign_parser(
+        "run", parallel=True,
+        help="generate the machine population and profile every shard",
+    )
+    campaign_run_parser.add_argument(
+        "--machines", type=int, default=1000, metavar="N",
+        help="machine variants to generate (default: 1000)",
+    )
+    campaign_run_parser.add_argument(
+        "--workloads", default=",".join(CAMPAIGN_WORKLOADS), metavar="LIST",
+        help="comma-separated workload names (default: the six-workload "
+             "campaign mix)",
+    )
+    campaign_run_parser.add_argument(
+        "--seed", type=int, default=2017, metavar="N",
+        help="generator / profiling seed (default: 2017)",
+    )
+    campaign_run_parser.add_argument(
+        "--engine", choices=("analytic", "trace"), default="trace",
+        help="profiling engine (default: trace)",
+    )
+    campaign_run_parser.add_argument(
+        "--instructions", type=int, default=200_000, metavar="N",
+        help="trace length per workload (default: 200000)",
+    )
+    campaign_run_parser.add_argument(
+        "--shard-machines", type=int, default=64, metavar="N",
+        dest="shard_machines",
+        help="machines per checkpointed shard (default: 64)",
+    )
+    campaign_run_parser.add_argument(
+        "--clusters", type=int, default=7, metavar="K",
+        help="k for the fold stage's k-means (default: 7)",
+    )
+    campaign_run_parser.add_argument(
+        "--ledger", action="store_true",
+        help="record each completed shard in the run-history ledger",
+    )
+
+    campaign_resume_parser = add_campaign_parser(
+        "resume", parallel=True,
+        help="continue an interrupted campaign, skipping completed shards",
+    )
+    campaign_resume_parser.add_argument(
+        "--ledger", action="store_true",
+        help="record each completed shard in the run-history ledger",
+    )
+
+    add_campaign_parser(
+        "status", help="checkpoint inventory: shards done, rows landed"
+    )
+    add_campaign_parser(
+        "fold", help="re-run PCA + k-means over the landed shards"
+    )
 
     obs_report_parser = add_parser(
         "obs-report", help="pretty-print the last observed run's manifest"
@@ -628,6 +722,124 @@ def _cmd_export(args: argparse.Namespace) -> int:
     )
     path = feature_matrix_to_csv(matrix, args.out)
     print(f"wrote {matrix.n_workloads} x {matrix.n_features} matrix to {path}")
+    return 0
+
+
+def _campaign_profiler(args: argparse.Namespace, config):
+    """A :class:`Profiler` matching the campaign's engine parameters.
+
+    Unlike :func:`_make_profiler`, the engine/instructions/seed come
+    from the campaign config (for ``resume``, the recorded one) — only
+    the cache and kernel flags come from the command line.
+    """
+    import os
+
+    from repro.perf.profiler import Profiler
+
+    if args.no_disk_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    profiler = Profiler(
+        engine=config.engine,
+        trace_instructions=config.trace_instructions,
+        seed=config.seed,
+        cache_dir=cache_dir,
+        trace_kernel=getattr(args, "trace_kernel", None),
+        seed_scope=getattr(args, "trace_seed_scope", None),
+        replay=getattr(args, "replay", None),
+    )
+    if args.cache_clear and profiler.disk_cache is not None:
+        removed = profiler.disk_cache.clear()
+        print(f"cleared {removed} cached profiles from "
+              f"{profiler.disk_cache.root}")
+    return profiler
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign import CampaignConfig, CampaignRunner
+
+    verb = args.campaign_command
+    if verb == "status":
+        status = CampaignRunner(args.directory).status()
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        shards = status["shards"]
+        rows = status["rows"]
+        print(f"campaign {status['directory']}: {status['machines']} "
+              f"machines x {len(status['workloads'])} workloads")
+        print(f"  shards done: {shards['done']}/{shards['total']}")
+        pending = shards["pending"]
+        if pending:
+            head = ", ".join(f"{index:04d}" for index in pending[:8])
+            more = "" if len(pending) <= 8 else f" (+{len(pending) - 8} more)"
+            print(f"  shards pending: {head}{more}")
+        print(f"  rows landed: {rows['landed']}/{rows['total']}")
+        print(f"  sealed: {status['sealed']}  analyzed: {status['analyzed']}")
+        if status["digest"]:
+            print(f"  digest: {status['digest']}")
+        return 0
+    if verb == "fold":
+        analysis = CampaignRunner(args.directory).fold()
+        if args.json:
+            print(json.dumps(analysis, indent=2, sort_keys=True))
+            return 0
+        print(f"folded {analysis['machines_analyzed']}/"
+              f"{analysis['machines_total']} machines "
+              f"({analysis['features']} features)")
+        print(f"  kaiser components: {analysis['kaiser_components']}")
+        for index, members in enumerate(analysis["clusters"]):
+            representative = analysis["representatives"][index]
+            print(f"  cluster {index}: {len(members)} machines "
+                  f"(representative {representative})")
+        return 0
+    # run / resume
+    resume = verb == "resume"
+    if resume:
+        config = CampaignRunner(args.directory).load_config()
+    else:
+        config = CampaignConfig(
+            machines=args.machines,
+            workloads=tuple(
+                name.strip()
+                for name in args.workloads.split(",")
+                if name.strip()
+            ),
+            seed=args.seed,
+            engine=args.engine,
+            trace_instructions=args.instructions,
+            shard_machines=args.shard_machines,
+            clusters=args.clusters,
+        )
+    runner = CampaignRunner(
+        args.directory,
+        config=config,
+        profiler=_campaign_profiler(args, config),
+        jobs=args.jobs,
+        backend=args.backend,
+        profile=getattr(args, "profile", "off"),
+        ledger=args.ledger,
+    )
+    summary = runner.run(resume=resume)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    shards = summary["shards"]
+    print(f"campaign {summary['directory']}: {summary['machines']} "
+          f"machines x {len(summary['workloads'])} workloads, "
+          f"{summary['rows']} rows")
+    print(f"  shards: {shards['computed']} computed, "
+          f"{shards['skipped']} skipped of {shards['total']}")
+    print(f"  digest: {summary['digest']}")
+    print(f"  store: {summary['directory']}/store "
+          f"(digest {summary['store_digest'][:16]})")
+    analysis = summary["analysis"]
+    print(f"  analysis: {analysis['machines_analyzed']} machines, "
+          f"{analysis['kaiser_components']} kaiser components, "
+          f"{len(analysis['clusters'])} clusters")
     return 0
 
 
@@ -991,6 +1203,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "dataset": _cmd_dataset,
     "export": _cmd_export,
+    "campaign": _cmd_campaign,
     "obs-report": _cmd_obs_report,
     "obs": _cmd_obs,
 }

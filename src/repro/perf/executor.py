@@ -6,7 +6,11 @@ independent, deterministic computation.  :class:`ProfilingExecutor`
 fans a pair list out over a ``concurrent.futures`` thread or process
 pool in fixed-size chunks — grouped by workload
 (:func:`workload_chunks`) so a pool worker synthesizes each shared
-trace at most once — and reassembles the results **by input index**,
+trace at most once — and reassembles the results **by input index**.
+Chunk payloads are built lazily and at most ``jobs *
+_CHUNKS_PER_WORKER`` chunks are in flight at once, so a
+campaign-scale sweep (tens of thousands of pending pairs) holds a
+bounded window of payload tuples rather than all of them.  Results are
 so the output is identical to the serial sweep regardless of worker
 count, chunk size, backend or completion order (see DESIGN.md,
 "Parallel execution & caching").
@@ -30,8 +34,9 @@ spans to the live sweep span; process-backend workers record spans
 into a local buffer (``begin_remote_capture``) that is shipped back
 with the chunk results and merged under the sweep span in chunk-index
 order, so ``--trace-out`` shows per-worker swim-lanes either way.  The
-pool exports ``executor.pool.jobs`` / ``executor.pool.inflight``
-gauges, ``executor.tasks.{completed,from_cache}`` /
+pool exports ``executor.pool.jobs`` / ``executor.pool.inflight`` /
+``executor.pool.peak_inflight`` gauges (the peak is capped by the
+submission window), ``executor.tasks.{completed,from_cache}`` /
 ``executor.spans.adopted`` counters and a
 ``profiler.queue_wait_seconds`` histogram (submit-to-start latency per
 chunk), so speedup and saturation are attributable from a trace alone.
@@ -45,10 +50,11 @@ import time
 import traceback
 import tracemalloc
 from concurrent.futures import (
+    FIRST_COMPLETED,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
-    as_completed,
+    wait,
 )
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -627,49 +633,89 @@ class ProfilingExecutor:
             else None
         )
         telemetry = channel.queue if channel is not None else None
-        payloads: List[_ChunkPayload] = [
-            (
-                chunk_index,
-                self.profiler.engine,
-                self.profiler.trace_instructions,
-                self.profiler.seed,
-                getattr(self.profiler, "trace_kernel", None),
-                getattr(self.profiler, "seed_scope", "geometry"),
-                getattr(self.profiler, "replay", None),
-                [pending[i] for i in indices],
-                context,
-                os.getpid(),
-                self.profile,
-                telemetry,
-                None,
-            )
-            for chunk_index, indices in enumerate(chunks)
-        ]
-        futures: List[Future] = []
+
+        def payload_stream():
+            # Payloads are built lazily, one per submitted chunk, so a
+            # campaign-scale pending list (tens of thousands of pairs)
+            # never holds every chunk's pair tuples in flight at once —
+            # only the bounded submission window below exists at a time.
+            for chunk_index, indices in enumerate(chunks):
+                yield (
+                    chunk_index,
+                    self.profiler.engine,
+                    self.profiler.trace_instructions,
+                    self.profiler.seed,
+                    getattr(self.profiler, "trace_kernel", None),
+                    getattr(self.profiler, "seed_scope", "geometry"),
+                    getattr(self.profiler, "replay", None),
+                    [pending[i] for i in indices],
+                    context,
+                    os.getpid(),
+                    self.profile,
+                    telemetry,
+                    None,
+                )
+
+        window = max(1, self.jobs * _CHUNKS_PER_WORKER)
+        futures: Dict[Future, int] = {}
         try:
             with pool_type(max_workers=self.jobs) as pool:
                 try:
-                    for payload in payloads:
-                        if observed:
-                            # Stamp the submit-time wall clock as late
-                            # as possible so the queue-wait histogram
-                            # measures pool latency, not payload
-                            # construction.
-                            payload = payload[:-1] + (time.perf_counter(),)
-                        futures.append(pool.submit(_profile_chunk, payload))
-                        obs_metrics.adjust_gauge("executor.pool.inflight", 1)
-                        if hub is not None:
-                            hub.chunk_submitted(
-                                payload[0], len(payload[7])
+                    stream = payload_stream()
+                    remote_spans: Dict[int, List[dict]] = {}
+                    exhausted = False
+                    peak = 0
+                    while True:
+                        while not exhausted and len(futures) < window:
+                            payload = next(stream, None)
+                            if payload is None:
+                                exhausted = True
+                                break
+                            if observed:
+                                # Stamp the submit-time wall clock as
+                                # late as possible so the queue-wait
+                                # histogram measures pool latency, not
+                                # payload construction.
+                                payload = payload[:-1] + (
+                                    time.perf_counter(),
+                                )
+                            future = pool.submit(_profile_chunk, payload)
+                            futures[future] = payload[0]
+                            obs_metrics.adjust_gauge(
+                                "executor.pool.inflight", 1
                             )
-                    self._collect(
-                        chunks, futures, pending, positions, results,
-                        ticker, sweep,
+                            if hub is not None:
+                                hub.chunk_submitted(
+                                    payload[0], len(payload[7])
+                                )
+                        peak = max(peak, len(futures))
+                        if not futures:
+                            break
+                        done, _not_done = wait(
+                            futures, return_when=FIRST_COMPLETED
+                        )
+                        # ``done`` is an unordered set; collect it in
+                        # chunk-index order so a failing chunk never
+                        # shadows the adoption (and disk-cache landing)
+                        # of chunks that completed alongside it.
+                        for future in sorted(done, key=futures.__getitem__):
+                            del futures[future]
+                            self._collect_chunk(
+                                future, chunks, pending, positions,
+                                results, ticker, remote_spans,
+                            )
+                    # Submission and collection both happen on this
+                    # thread, so the peak is deterministic given chunk
+                    # completion timing and never exceeds the window.
+                    obs_metrics.set_gauge(
+                        "executor.pool.peak_inflight", peak
                     )
+                    self._merge_worker_spans(sweep, remote_spans)
                 except BaseException:
-                    # Ctrl-C / worker failure: drop undispatched chunks so
-                    # the pool drains fast, then let the context manager
-                    # join the workers; no cache write for anything not
+                    # Ctrl-C / worker failure: undispatched chunks were
+                    # never submitted, so only the in-flight window
+                    # needs cancelling before the context manager joins
+                    # the workers; no cache write for anything not
                     # fully collected, so no partial entries can exist.
                     for future in futures:
                         future.cancel()
@@ -688,63 +734,60 @@ class ProfilingExecutor:
             if channel is not None:
                 channel.close()
 
-    def _collect(
+    def _collect_chunk(
         self,
+        future: Future,
         chunks: List[List[int]],
-        futures: List[Future],
         pending: List[Pair],
         positions: Dict[Tuple[str, str, str, str], List[int]],
         results: List[Optional[CounterReport]],
         ticker,
-        sweep: Optional[Span] = None,
+        remote_spans: Dict[int, List[dict]],
     ) -> None:
         # Chunks are adopted as they complete; which slot a report
         # fills depends only on its input index, so completion order
         # affects wall time, never results.
-        remote_spans: Dict[int, List[dict]] = {}
+        chunk_index, outcomes, extras = future.result()
+        obs_metrics.adjust_gauge("executor.pool.inflight", -1)
         hub = obs_live.active_hub()
-        for future in as_completed(futures):
-            chunk_index, outcomes, extras = future.result()
-            obs_metrics.adjust_gauge("executor.pool.inflight", -1)
-            if hub is not None:
-                hub.chunk_collected(chunk_index)
-            if extras["queue_wait_s"] is not None:
-                if self.profile != "off":
-                    # --profile without --obs: the gated helper would
-                    # no-op, but the profile report wants the waits.
-                    obs_metrics.histogram(
-                        "profiler.queue_wait_seconds"
-                    ).observe(extras["queue_wait_s"])
-                else:
-                    obs_metrics.observe(
-                        "profiler.queue_wait_seconds", extras["queue_wait_s"]
-                    )
-            if extras["spans"]:
-                remote_spans[chunk_index] = extras["spans"]
-            if extras["profile"]:
-                obs_profiling.absorb_worker_profile(
-                    extras["profile"], pid=extras["pid"]
+        if hub is not None:
+            hub.chunk_collected(chunk_index)
+        if extras["queue_wait_s"] is not None:
+            if self.profile != "off":
+                # --profile without --obs: the gated helper would
+                # no-op, but the profile report wants the waits.
+                obs_metrics.histogram(
+                    "profiler.queue_wait_seconds"
+                ).observe(extras["queue_wait_s"])
+            else:
+                obs_metrics.observe(
+                    "profiler.queue_wait_seconds", extras["queue_wait_s"]
                 )
-            failures: List[Tuple[str, str]] = []
-            for offset, outcome in enumerate(outcomes):
-                if outcome[0] == "err":
-                    _tag, label, worker_trace = outcome
-                    failures.append((label, worker_trace))
-                    continue
-                pair_index = chunks[chunk_index][offset]
-                spec, config = pending[pair_index]
-                self._adopt(spec, config, outcome[1], positions, results)
-                ticker.advance()
-            if failures:
-                # A fused batch marshals one error per member pair;
-                # aggregate so the exception names every failed
-                # workload@machine, not just the first.
-                labels = ", ".join(label for label, _ in failures)
-                raise ExecutionError(
-                    f"profiling {labels} failed in a "
-                    f"{self.backend} worker:\n{failures[0][1]}"
-                )
-        self._merge_worker_spans(sweep, remote_spans)
+        if extras["spans"]:
+            remote_spans[chunk_index] = extras["spans"]
+        if extras["profile"]:
+            obs_profiling.absorb_worker_profile(
+                extras["profile"], pid=extras["pid"]
+            )
+        failures: List[Tuple[str, str]] = []
+        for offset, outcome in enumerate(outcomes):
+            if outcome[0] == "err":
+                _tag, label, worker_trace = outcome
+                failures.append((label, worker_trace))
+                continue
+            pair_index = chunks[chunk_index][offset]
+            spec, config = pending[pair_index]
+            self._adopt(spec, config, outcome[1], positions, results)
+            ticker.advance()
+        if failures:
+            # A fused batch marshals one error per member pair;
+            # aggregate so the exception names every failed
+            # workload@machine, not just the first.
+            labels = ", ".join(label for label, _ in failures)
+            raise ExecutionError(
+                f"profiling {labels} failed in a "
+                f"{self.backend} worker:\n{failures[0][1]}"
+            )
 
     @staticmethod
     def _merge_worker_spans(

@@ -36,8 +36,15 @@ This module makes trace identity explicit and configurable:
   (equal keys map to the same directory, so concurrent spills are
   idempotent), and treats *any* on-disk damage as a miss: a corrupt
   spill entry is unlinked and the trace resynthesized, never a crash.
+  Every entry carries a ``key.json`` sidecar, so a fresh process
+  pointed at an existing spill directory (a resumed campaign) re-adopts
+  the tier in **one** construction-time scan; the byte total is
+  computed then and tracked incrementally ever after — inserts and
+  evictions never rescan the directory (``trace_cache.spill_scan``
+  counts the scans and stays at one).
 
-Observability: ``trace_cache.{hit,miss,evict,spill,spill_hit}``
+Observability: ``trace_cache.{hit,miss,evict,spill,spill_hit,
+spill_scan}``
 counters and ``trace_cache.{resident_bytes,spilled_bytes}`` gauges feed
 the shared metrics registry; :meth:`TraceCache.stats` is always live
 (every miss is one synthesis, which is how the benchmarks count
@@ -47,6 +54,7 @@ synthesis work).
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import shutil
 import tempfile
@@ -120,6 +128,11 @@ _SPILL_ARRAYS = (
     "branch_sites",
     "branch_taken",
 )
+
+#: Sidecar persisted with every spill entry: the JSON-able trace key
+#: plus the accounted byte size, so a fresh process (a resumed
+#: campaign) can re-adopt the tier without re-deriving either.
+_SPILL_KEY_FILE = "key.json"
 
 
 def _spill_dirname(key: tuple) -> str:
@@ -224,6 +237,11 @@ class TraceCacheInfo(NamedTuple):
     spills: int = 0
     spilled_entries: int = 0
     spilled_bytes: int = 0
+    # Directory scans performed for spill-tier byte accounting: exactly
+    # one (at construction, adopting pre-existing entries) per cache
+    # lifetime — inserts and evictions adjust the total incrementally
+    # and never rescan (the satellite regression guard asserts this).
+    spill_scans: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -353,6 +371,78 @@ class TraceCache:
         self._evictions = obs_metrics.Counter("trace_cache.evict")
         self._spills = obs_metrics.Counter("trace_cache.spill")
         self._spill_hits = obs_metrics.Counter("trace_cache.spill_hit")
+        self._spill_scans = obs_metrics.Counter("trace_cache.spill_scan")
+        if self.spill_dir is not None:
+            self._adopt_spill_dir()
+
+    def _adopt_spill_dir(self) -> None:
+        """Adopt pre-existing spill entries in one construction-time scan.
+
+        The byte total of the tier is computed here **once** — every
+        later insert/evict adjusts it incrementally (``spill_scans``
+        counts the scans so a regression back to rescan-per-insert is
+        counter-visible).  Entries are adopted oldest-first (mtime, then
+        name) so the pre-existing population evicts in write order, and
+        anything unreadable — a missing or corrupt ``key.json``, a
+        sidecar whose key does not hash to its own directory name, a
+        missing trace array — is unlinked rather than accounted.
+        Adoption is what lets a resumed campaign re-hit the traces a
+        killed run already paid to synthesize.
+        """
+        self._spill_scans.add()
+        obs_metrics.incr("trace_cache.spill_scan")
+        candidates = []
+        try:
+            with os.scandir(self.spill_dir) as scan:
+                for entry in scan:
+                    if entry.name.startswith(".") or not entry.is_dir():
+                        continue
+                    candidates.append(
+                        (entry.stat().st_mtime_ns, entry.name)
+                    )
+        except OSError:
+            return
+        adopted: List[Tuple[tuple, int]] = []
+        stale: List[str] = []
+        for _mtime, name in sorted(candidates):
+            path = self.spill_dir / name
+            try:
+                sidecar = json.loads((path / _SPILL_KEY_FILE).read_text())
+                key = tuple(sidecar["key"])
+                nbytes = int(sidecar["nbytes"])
+                if _spill_dirname(key) != name or nbytes < 0:
+                    raise ValueError("spill sidecar disagrees with its dir")
+                for field in _SPILL_ARRAYS:
+                    if not (path / f"{field}.npy").is_file():
+                        raise ValueError(f"spill entry lacks {field}.npy")
+            except Exception:
+                stale.append(name)
+                continue
+            adopted.append((key, nbytes))
+        evicted: List[str] = []
+        with self._lock:
+            for key, nbytes in adopted:
+                if key in self._spilled:
+                    continue
+                if nbytes > self.spill_capacity_bytes:
+                    evicted.append(_spill_dirname(key))
+                    continue
+                while (
+                    self._spilled
+                    and self._spilled_bytes + nbytes
+                    > self.spill_capacity_bytes
+                ):
+                    _, (old_name, old_nbytes) = self._spilled.popitem(
+                        last=False
+                    )
+                    self._spilled_bytes -= old_nbytes
+                    evicted.append(old_name)
+                self._spilled[key] = (_spill_dirname(key), nbytes)
+                self._spilled_bytes += nbytes
+            spilled = self._spilled_bytes
+        for name in stale + evicted:
+            shutil.rmtree(self.spill_dir / name, ignore_errors=True)
+        obs_metrics.set_gauge("trace_cache.spilled_bytes", spilled)
 
     def get(self, key: tuple) -> Optional[SyntheticTrace]:
         """Cache probe; counts a hit and refreshes recency when found."""
@@ -430,6 +520,11 @@ class TraceCache:
             )
             for field in _SPILL_ARRAYS:
                 np.save(tmp / f"{field}.npy", getattr(trace, field))
+            # The sidecar rides inside the same atomic rename, so an
+            # installed entry is always re-adoptable by a later process.
+            (tmp / _SPILL_KEY_FILE).write_text(
+                json.dumps({"key": list(key), "nbytes": nbytes})
+            )
             try:
                 os.replace(tmp, final)
             except OSError:
@@ -561,6 +656,7 @@ class TraceCache:
                 spills=int(self._spills.value),
                 spilled_entries=len(self._spilled),
                 spilled_bytes=self._spilled_bytes,
+                spill_scans=int(self._spill_scans.value),
             )
 
     def clear(self) -> None:
@@ -583,6 +679,9 @@ class TraceCache:
             self._evictions.reset()
             self._spills.reset()
             self._spill_hits.reset()
+            # spill_scans is deliberately *not* reset: it counts
+            # directory scans over the cache's lifetime, and clearing
+            # performs none (accounting stays incremental).
         if self.spill_dir is not None:
             for name in spill_names:
                 shutil.rmtree(self.spill_dir / name, ignore_errors=True)

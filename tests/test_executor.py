@@ -207,6 +207,21 @@ class TestObservability:
         assert snapshot["counters"]["executor.tasks.completed"] == len(pairs())
         assert snapshot["counters"]["profiler.cache.miss"] == len(pairs())
 
+    def test_dispatch_window_bounds_inflight_chunks(self):
+        # 24 single-pair chunks against a 2-worker pool: the lazy
+        # dispatcher must never materialize more than jobs * 4 payloads
+        # at once, and the bounded window must not perturb results.
+        many = pairs() * 3
+        obs.enable()
+        executor = ProfilingExecutor(Profiler(), jobs=2, chunk_size=1)
+        windowed = executor.run(many)
+        obs.disable()
+        snapshot = obs.snapshot()
+        peak = snapshot["gauges"]["executor.pool.peak_inflight"]
+        assert 1 <= peak <= 2 * 4
+        serial = ProfilingExecutor(Profiler(), jobs=1).run(many)
+        assert windowed == serial
+
     def test_cached_pairs_count_as_from_cache(self):
         profiler = Profiler()
         ProfilingExecutor(profiler, jobs=2).run(pairs())

@@ -384,6 +384,97 @@ class TestSpillTier:
             TraceCache(spill_capacity_bytes=-1)
 
 
+class TestSpillAdoption:
+    """Cross-process spill adoption and incremental byte accounting."""
+
+    def _spilling_cache(self, tmp_path, **kwargs):
+        kwargs.setdefault("capacity_bytes", 100_000)
+        return TraceCache(spill_dir=tmp_path / "spill", **kwargs)
+
+    def _synthesize(self, cache, seed):
+        return cache.get_or_synthesize(
+            MCF, 20_000, seed=seed, line_bytes=64, page_bytes=4096
+        )
+
+    def test_byte_total_scans_the_directory_exactly_once(self, tmp_path):
+        # The satellite guard: the spill tier's byte total is computed
+        # by one construction-time directory scan and then maintained
+        # incrementally — many inserts, evictions and a clear() must
+        # not rescan (a regression to rescan-per-insert shows up here
+        # as a climbing counter).
+        cache = self._spilling_cache(tmp_path, spill_capacity_bytes=400_000)
+        assert cache.stats().spill_scans == 1
+        for seed in range(8):  # spills + spill-capacity evictions
+            self._synthesize(cache, seed=seed)
+        info = cache.stats()
+        assert info.spills > 0
+        assert info.spill_scans == 1
+        on_disk = sum(
+            f.stat().st_size
+            for f in (tmp_path / "spill").rglob("*.npy")
+        )
+        # Incremental accounting agrees with the actual array payload
+        # on disk (each .npy carries a small header on top).
+        assert 0 < info.spilled_bytes <= on_disk
+        cache.clear()
+        assert cache.stats().spill_scans == 1
+
+    def test_fresh_cache_adopts_existing_spill_entries(self, tmp_path):
+        first = self._spilling_cache(tmp_path)
+        original = self._synthesize(first, seed=1)
+        self._synthesize(first, seed=2)  # evicts + spills seed=1
+        spilled = first.stats().spilled_bytes
+        assert spilled > 0
+        # A second cache on the same directory — a resumed campaign's
+        # fresh process — adopts the entry and its accounting without
+        # help, and re-hits it instead of resynthesizing.
+        second = self._spilling_cache(tmp_path)
+        info = second.stats()
+        assert info.spill_scans == 1
+        assert info.spilled_entries == 1
+        assert info.spilled_bytes == spilled
+        rehit = self._synthesize(second, seed=1)
+        info = second.stats()
+        assert info.spill_hits == 1
+        assert info.misses == 0
+        assert traces_equal(original, rehit)
+
+    def test_adopted_entries_evict_oldest_first(self, tmp_path):
+        first = self._spilling_cache(tmp_path, spill_capacity_bytes=400_000)
+        for seed in range(4):  # seeds 0..2 spill, in eviction order
+            self._synthesize(first, seed=seed)
+        assert first.stats().spilled_entries == 3
+        # Adopting under a tighter budget keeps the *newest* entries,
+        # dropping the oldest spill files from disk.
+        second = self._spilling_cache(
+            tmp_path, spill_capacity_bytes=170_000
+        )
+        info = second.stats()
+        assert info.spilled_entries == 2
+        dirs = [
+            p for p in (tmp_path / "spill").iterdir() if p.is_dir()
+        ]
+        assert len(dirs) == 2
+        assert second.get_or_synthesize(
+            MCF, 20_000, seed=0, line_bytes=64, page_bytes=4096
+        ) is not None
+        assert second.stats().misses == 1  # oldest was dropped
+
+    def test_unreadable_entries_are_unlinked_not_adopted(self, tmp_path):
+        first = self._spilling_cache(tmp_path)
+        self._synthesize(first, seed=1)
+        self._synthesize(first, seed=2)
+        spill_root = tmp_path / "spill"
+        (entry,) = [p for p in spill_root.iterdir() if p.is_dir()]
+        (entry / "key.json").write_text("not json")
+        (spill_root / "stray").mkdir()  # no sidecar at all
+        second = self._spilling_cache(tmp_path)
+        info = second.stats()
+        assert info.spill_scans == 1
+        assert info.spilled_entries == 0 and info.spilled_bytes == 0
+        assert [p for p in spill_root.iterdir() if p.is_dir()] == []
+
+
 class TestFusedExecutorCrash:
     """Satellite 4: a dying fused batch names every pair it carried."""
 
