@@ -1,0 +1,165 @@
+"""Benchmark — appending one machine to the analysis vs a full refit.
+
+Builds a 1000-row persistent feature store (synthetic seeded machine
+rows, a handful of well-separated populations to give k-means real
+structure) and compares the two ways to fold one newly-landed machine
+into the PCA + k-means + representative-selection pipeline:
+
+* **batch** — what every fold cost before the incremental engine: a
+  full ``fit_pca`` over the grown matrix, restarted k-means (8
+  k-means++ restarts) and a full representative rescan.
+* **incremental** — ``AnalysisEngine.append``: one checksummed store
+  append, a rank-one PCA update (exact refactorization only when the
+  tracked drift bound trips), seeded Lloyd iterations from the previous
+  assignment, and representative re-scoring limited to the clusters
+  whose membership changed.
+
+The ISSUE's acceptance bar: the append path is >= 10x faster than the
+batch refit, behind two accuracy gates that disqualify the speedup
+before it is measured —
+
+1. a **tolerance gate**: the engine's retained eigenvalues, loadings
+   and scores stay within ``SCORE_TOLERANCE`` of a fresh ``fit_pca``;
+2. a **digest gate**: after a forced refactorization the engine's
+   result is bit-comparable (``==`` on every array) with ``fit_pca``.
+
+Scale knobs (for CI-sized runs): ``REPRO_BENCH_ANALYSIS_ROWS``,
+``REPRO_BENCH_ANALYSIS_FEATURES``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.feature_store import AnalysisEngine, FeatureMatrixStore
+from repro.stats.incremental import SCORE_TOLERANCE
+from repro.stats.kmeans import kmeans
+from repro.stats.pca import fit_pca
+
+ROWS = int(os.environ.get("REPRO_BENCH_ANALYSIS_ROWS", "1000"))
+FEATURES = int(os.environ.get("REPRO_BENCH_ANALYSIS_FEATURES", "48"))
+CLUSTERS = 12
+APPENDS = 5
+
+#: The acceptance bar: one-machine append vs the full batch refit.
+SPEEDUP_FLOOR = 10.0
+
+
+def _population(rows: int) -> np.ndarray:
+    """Seeded machine rows around anisotropic design-space modes.
+
+    Mode strength decays geometrically so the correlation spectrum has
+    distinct retained eigenvalues, like a real machine population —
+    perfectly symmetric modes would make the retained eigenvalues
+    degenerate and the comparison against ``fit_pca`` ill-posed (any
+    rotation of a degenerate eigenspace is equally correct).
+    """
+    rng = np.random.default_rng(2017)
+    scales = 3.0 * 0.75 ** np.arange(CLUSTERS)
+    centers = rng.normal(size=(CLUSTERS, FEATURES)) * scales[:, None]
+    return np.stack(
+        [
+            centers[i % CLUSTERS] + rng.normal(size=FEATURES) * 0.5
+            for i in range(rows)
+        ]
+    )
+
+
+def _batch_analysis(matrix, labels):
+    """The pre-engine fold: full PCA refit + restarted k-means."""
+    pca = fit_pca(matrix, tuple(f"f{i}" for i in range(matrix.shape[1])))
+    scores = pca.retained_scores()
+    clustering = kmeans(scores, CLUSTERS, seed=2017)
+    return pca, clustering, clustering.representatives(scores, labels)
+
+
+def test_incremental_append_speedup(run_once, benchmark, tmp_path):
+    population = _population(ROWS + APPENDS + 1)
+    base, pending = population[:ROWS], population[ROWS:]
+    labels = [f"m{i:04d}" for i in range(ROWS)]
+
+    store = FeatureMatrixStore.create(tmp_path / "store", [
+        f"f{i}" for i in range(FEATURES)
+    ])
+    for label, row in zip(labels, base):
+        store.append_workload(label, row)
+    engine = AnalysisEngine(store, clusters=CLUSTERS, seed=2017)
+    engine.refresh()
+
+    # Batch baseline: best-of-3 full refits over the grown matrix —
+    # exactly the work a fold re-did per landed machine before the
+    # incremental engine.
+    grown = np.vstack([base, pending[0]])
+    grown_labels = labels + ["m_new"]
+    batch_time = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _batch_analysis(grown, grown_labels)
+        batch_time = min(batch_time, time.perf_counter() - t0)
+
+    # Incremental: APPENDS timed single-machine appends (store write +
+    # rank-one update + seeded Lloyd + changed-cluster rescore); take
+    # the best to match the baseline's best-of policy.
+    append_time = float("inf")
+    for i in range(APPENDS):
+        t0 = time.perf_counter()
+        engine.append(f"new{i:02d}", pending[i])
+        append_time = min(append_time, time.perf_counter() - t0)
+
+    # Tolerance gate: the engine's approximate eigensystem must agree
+    # with a fresh batch fit on everything the pipeline consumes.
+    matrix = store.values()
+    exact = fit_pca(matrix, store.features)
+    approx = engine.pca.result(matrix)
+    k = exact.kaiser_components
+    assert approx.kaiser_components == k
+    eig_err = float(np.abs(approx.eigenvalues[:k] - exact.eigenvalues[:k]).max())
+    loading_err = float(
+        np.abs(np.abs(approx.loadings[:k]) - np.abs(exact.loadings[:k])).max()
+    )
+    score_err = float(
+        np.abs(
+            np.abs(approx.retained_scores()) - np.abs(exact.retained_scores())
+        ).max()
+    )
+    assert eig_err < SCORE_TOLERANCE
+    assert loading_err < SCORE_TOLERANCE
+    assert score_err < SCORE_TOLERANCE
+
+    # Digest gate: a forced refactorization restores bit-comparable
+    # results — the engine's exact path *is* ``fit_pca``.
+    engine.force_refactorization()
+    refit = engine.pca.result(store.values())
+    assert (refit.eigenvalues == exact.eigenvalues).all()
+    assert (refit.loadings == exact.loadings).all()
+    assert (refit.scores == exact.scores).all()
+    assert refit.kaiser_components == exact.kaiser_components
+
+    # Set before run_once so the ledger manifest carries these as
+    # ``bench.*`` counters for ``repro obs check``.
+    benchmark.extra_info["batch_seconds"] = batch_time
+    benchmark.extra_info["append_seconds"] = append_time
+    benchmark.extra_info["speedup"] = batch_time / append_time
+    benchmark.extra_info["rows"] = ROWS
+    benchmark.extra_info["features"] = FEATURES
+    benchmark.extra_info["clusters"] = CLUSTERS
+    benchmark.extra_info["eigenvalue_error"] = eig_err
+    benchmark.extra_info["loading_error"] = loading_err
+    benchmark.extra_info["score_error"] = score_err
+    benchmark.extra_info["refactorizations"] = engine.pca.refactorizations
+    benchmark.extra_info["bit_identical_after_refactorization"] = True
+
+    report = run_once(engine.append, "m_timed", pending[APPENDS])
+    assert report["index"] == ROWS + APPENDS
+
+    print(
+        f"\nbatch refit {batch_time * 1e3:.1f} ms vs append "
+        f"{append_time * 1e3:.2f} ms ({batch_time / append_time:.1f}x) "
+        f"at {ROWS} rows x {FEATURES} features; "
+        f"score error {score_err:.2e} (tolerance {SCORE_TOLERANCE})"
+    )
+    assert batch_time >= SPEEDUP_FLOOR * append_time, (
+        f"batch {batch_time:.4f}s vs append {append_time:.4f}s "
+        f"({batch_time / append_time:.2f}x < {SPEEDUP_FLOOR}x)"
+    )

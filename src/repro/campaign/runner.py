@@ -73,6 +73,7 @@ from repro.perf.diskcache import (
 )
 from repro.perf.executor import ProfilingExecutor
 from repro.perf.profiler import Profiler
+from repro.stats.incremental import resolve_analysis_mode
 from repro.stats.kmeans import kmeans
 from repro.stats.pca import fit_pca
 from repro.uarch.machine import PAPER_MACHINE_NAMES, MachineConfig
@@ -92,6 +93,7 @@ _CAMPAIGN_FILE = "campaign.json"
 _SHARD_DIR = "shards"
 _STORE_DIR = "store"
 _ANALYSIS_FILE = "analysis.json"
+_INCREMENTAL_DIR = "incremental"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -266,6 +268,7 @@ class CampaignRunner:
         profile: str = "off",
         ledger: bool = False,
         ledger_dir: Optional[Union[str, Path]] = None,
+        analysis: Optional[str] = None,
     ) -> None:
         self.directory = Path(directory)
         self.config = config
@@ -276,6 +279,7 @@ class CampaignRunner:
         self.profile = profile
         self.ledger = ledger
         self.ledger_dir = ledger_dir
+        self.analysis = analysis
 
     # ------------------------------------------------------------------
     # configuration / layout
@@ -644,14 +648,21 @@ class CampaignRunner:
     # fold / status / digests
     # ------------------------------------------------------------------
 
-    def fold(self) -> dict:
+    def fold(self, analysis: Optional[str] = None) -> dict:
         """PCA + k-means over every machine whose rows have landed.
 
         Reads the store incrementally (per-machine mmap blocks), so a
         mid-campaign fold analyzes the shards that finished without
-        touching the rest of the matrix.
+        touching the rest of the matrix.  Under the ``incremental``
+        analysis mode (the default; ``--analysis`` / ``REPRO_ANALYSIS``)
+        completed machine blocks are landed in a persistent
+        :class:`~repro.core.feature_store.FeatureMatrixStore` under the
+        campaign directory and repeated folds only fold the blocks
+        appended since the previous one; ``batch`` refits everything
+        from scratch and is the CI oracle.
         """
         config = self.config or self.load_config()
+        mode = resolve_analysis_mode(analysis or self.analysis)
         store = CampaignStore.open(self.store_dir)
         landed_mask = ~np.isnan(np.asarray(store.column(store.metrics[0])))
         n_workloads = len(store.workloads)
@@ -667,20 +678,39 @@ class CampaignRunner:
                 "fold needs at least two completed machines "
                 f"({len(complete)} landed)"
             )
-        features = np.stack(
-            [store.machine_block(index).ravel() for index in complete]
-        )
         labels = tuple(
             f"{workload}:{metric}"
             for workload in store.workloads
             for metric in store.metrics
+        )
+        if mode == "incremental":
+            document = self._fold_incremental(config, store, complete, labels)
+        else:
+            document = self._fold_batch(config, store, complete, labels)
+        atomic_write_text(
+            self.directory / _ANALYSIS_FILE,
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+        )
+        obs_metrics.incr("campaign.folds")
+        return document
+
+    def _fold_batch(
+        self,
+        config: CampaignConfig,
+        store: CampaignStore,
+        complete: List[int],
+        labels: Tuple[str, ...],
+    ) -> dict:
+        """The batch oracle: full refit from every completed machine."""
+        features = np.stack(
+            [store.machine_block(index).ravel() for index in complete]
         )
         names = [store.machines[index] for index in complete]
         pca = fit_pca(features, feature_labels=labels)
         k = min(config.clusters, len(complete))
         scores = pca.retained_scores()
         clustering = kmeans(scores, k, seed=config.seed)
-        analysis = {
+        return {
             "machines_analyzed": len(complete),
             "machines_total": len(store.machines),
             "features": len(labels),
@@ -689,13 +719,57 @@ class CampaignRunner:
             "clusters": clustering.clusters(names),
             "representatives": clustering.representatives(scores, names),
             "inertia": clustering.inertia,
+            "analysis_mode": "batch",
         }
-        atomic_write_text(
-            self.directory / _ANALYSIS_FILE,
-            json.dumps(analysis, indent=2, sort_keys=True) + "\n",
+
+    def _fold_incremental(
+        self,
+        config: CampaignConfig,
+        store: CampaignStore,
+        complete: List[int],
+        labels: Tuple[str, ...],
+    ) -> dict:
+        """Land new machine blocks in the feature store; fold only them."""
+        from repro.core.feature_store import AnalysisEngine, FeatureMatrixStore
+
+        directory = self.directory / _INCREMENTAL_DIR
+        try:
+            feature_store = FeatureMatrixStore.open(directory)
+        except ConfigurationError:
+            feature_store = FeatureMatrixStore.create(directory, labels)
+        if feature_store.features != labels:
+            raise ConfigurationError(
+                "the campaign's incremental store was built for different "
+                "features; remove its 'incremental' directory to refold"
+            )
+        landed = set(feature_store.labels)
+        appended = 0
+        for index in complete:
+            name = store.machines[index]
+            if name not in landed:
+                feature_store.append_machine_block(
+                    name, store.machine_block(index)
+                )
+                appended += 1
+        engine = AnalysisEngine(
+            feature_store, clusters=config.clusters, seed=config.seed
         )
-        obs_metrics.incr("campaign.folds")
-        return analysis
+        summary = engine.refresh()
+        obs_metrics.incr("campaign.fold_machines_appended", appended)
+        return {
+            "machines_analyzed": feature_store.rows,
+            "machines_total": len(store.machines),
+            "features": len(labels),
+            "kaiser_components": summary["kaiser_components"],
+            "cumulative_variance": summary["cumulative_variance"],
+            "clusters": summary["clusters"],
+            "representatives": summary["representatives"],
+            "inertia": summary["inertia"],
+            "analysis_mode": "incremental",
+            "drift": summary["drift"],
+            "refactorizations": summary["refactorizations"],
+            "machines_folded": appended,
+        }
 
     def campaign_digest(self) -> Optional[str]:
         """Digest over every shard's per-pair digests, in row order.

@@ -16,26 +16,50 @@ from repro.stats.cluster import (
     representatives,
 )
 from repro.stats.dendrogram import Dendrogram, render_dendrogram
-from repro.stats.distance import euclidean_distance_matrix
+from repro.stats.distance import (
+    append_to_condensed,
+    append_to_square,
+    euclidean_distance_matrix,
+    euclidean_row,
+)
+from repro.stats.incremental import (
+    DRIFT_TOLERANCE,
+    SCORE_TOLERANCE,
+    IncrementalKMeans,
+    IncrementalPca,
+    StreamingMoments,
+    reselect_representatives,
+    resolve_analysis_mode,
+)
 from repro.stats.pca import PcaResult, fit_pca
 from repro.stats.preprocess import drop_constant_columns, standardize
 from repro.stats.scoring import geometric_mean, relative_error, subset_score_error
 
 __all__ = [
     "ClusterTree",
+    "DRIFT_TOLERANCE",
     "Dendrogram",
+    "IncrementalKMeans",
+    "IncrementalPca",
     "Linkage",
     "PcaResult",
+    "SCORE_TOLERANCE",
+    "StreamingMoments",
+    "append_to_condensed",
+    "append_to_square",
     "cut_at_distance",
     "cut_into_clusters",
     "drop_constant_columns",
     "euclidean_distance_matrix",
+    "euclidean_row",
     "fit_pca",
     "geometric_mean",
     "linkage_matrix",
     "relative_error",
     "render_dendrogram",
     "representatives",
+    "reselect_representatives",
+    "resolve_analysis_mode",
     "standardize",
     "subset_score_error",
 ]

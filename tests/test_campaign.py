@@ -493,3 +493,88 @@ class TestCampaignCli:
 
         assert main(["campaign", "status", str(tmp_path / "none")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# incremental fold (the analysis={batch,incremental} knob)
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalFold:
+    def test_first_fold_matches_the_batch_oracle(self, tmp_path):
+        config = _config()
+        batch = CampaignRunner(
+            tmp_path / "batch", config=config, analysis="batch"
+        ).run()["analysis"]
+        incremental = CampaignRunner(
+            tmp_path / "inc", config=config, analysis="incremental"
+        ).run()["analysis"]
+        assert batch["analysis_mode"] == "batch"
+        assert incremental["analysis_mode"] == "incremental"
+        for key in (
+            "machines_analyzed",
+            "machines_total",
+            "features",
+            "kaiser_components",
+            "cumulative_variance",
+            "clusters",
+            "representatives",
+            "inertia",
+        ):
+            assert incremental[key] == batch[key], key
+        assert incremental["machines_folded"] == 8
+
+    def test_repeat_fold_appends_nothing(self, tmp_path):
+        obs.enable()
+        runner = CampaignRunner(
+            tmp_path / "camp", config=_config(), analysis="incremental"
+        )
+        first = runner.run()["analysis"]
+        assert first["machines_folded"] == 8
+        obs.metrics.reset()
+        second = runner.fold(analysis="incremental")
+        assert second["machines_folded"] == 0
+        assert second["machines_analyzed"] == 8
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters.get("campaign.fold_machines_appended", 0.0) == 0.0
+        for key in ("clusters", "representatives", "inertia"):
+            assert second[key] == first[key]
+
+    def test_midcampaign_fold_then_completion_folds_only_new_blocks(
+        self, tmp_path
+    ):
+        from repro.perf.profiler import Profiler
+        from repro.workloads.spec import get_workload
+
+        config = _config()
+        runner = CampaignRunner(tmp_path / "camp", config=config)
+        specs = [get_workload(name) for name in config.workloads]
+        machines, store = runner._run_generate(config, specs)
+        profiler = Profiler()
+        runner._run_shard(config, profiler, specs, machines, store, 0)
+        runner._run_shard(config, profiler, specs, machines, store, 1)
+        partial = runner.fold(analysis="incremental")
+        assert partial["machines_analyzed"] == 6
+        assert partial["machines_folded"] == 6
+        runner._run_shard(config, profiler, specs, machines, store, 2)
+        final = runner.fold(analysis="incremental")
+        assert final["machines_analyzed"] == 8
+        assert final["machines_folded"] == 2
+
+    def test_mode_comes_from_environment_when_unset(
+        self, tmp_path, monkeypatch
+    ):
+        runner = CampaignRunner(tmp_path / "camp", config=_config())
+        runner.run()
+        monkeypatch.setenv("REPRO_ANALYSIS", "batch")
+        document = runner.fold()
+        assert document["analysis_mode"] == "batch"
+
+    def test_constructor_mode_beats_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYSIS", "batch")
+        runner = CampaignRunner(
+            tmp_path / "camp", config=_config(), analysis="incremental"
+        )
+        runner.run()
+        document = runner.fold()
+        assert document["analysis_mode"] == "incremental"
